@@ -1,0 +1,63 @@
+//! Shared pieces for the baseline architectures.
+
+use mqp_net::NodeId;
+
+/// Result of one discovery query against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveryResult {
+    /// Servers reported to hold the key.
+    pub holders: Vec<NodeId>,
+    /// Messages the query cost (publishes excluded).
+    pub messages: u64,
+    /// Bytes the query cost.
+    pub bytes: u64,
+    /// Simulated time from issue to last answer (µs).
+    pub latency_us: u64,
+}
+
+impl DiscoveryResult {
+    /// Recall against the true holder set.
+    pub fn recall(&self, truth: &[NodeId]) -> f64 {
+        if truth.is_empty() {
+            return 1.0;
+        }
+        let hit = truth.iter().filter(|t| self.holders.contains(t)).count();
+        hit as f64 / truth.len() as f64
+    }
+}
+
+/// FNV-1a 64-bit hash — deterministic key placement for the DHT without
+/// pulling in a hashing crate.
+pub fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_math() {
+        let r = DiscoveryResult {
+            holders: vec![1, 2],
+            messages: 0,
+            bytes: 0,
+            latency_us: 0,
+        };
+        assert!((r.recall(&[1, 2, 3, 4]) - 0.5).abs() < 1e-9);
+        assert_eq!(r.recall(&[]), 1.0);
+        assert_eq!(r.recall(&[1]), 1.0);
+    }
+
+    #[test]
+    fn fnv_is_stable_and_spreads() {
+        assert_eq!(fnv1a("abc"), fnv1a("abc"));
+        assert_ne!(fnv1a("abc"), fnv1a("abd"));
+        assert_ne!(fnv1a(""), fnv1a("a"));
+    }
+}

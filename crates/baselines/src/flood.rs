@@ -1,0 +1,247 @@
+//! The "Gnutella" baseline: query flooding with a horizon (paper §1:
+//! "queries are broadcast to a node's neighbors (which then broadcast
+//! them to all of their neighbors, and so on, up to a fixed number of
+//! steps, called the horizon)").
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use mqp_net::{NodeId, SimNet, Topology};
+
+use crate::common::DiscoveryResult;
+
+/// Flooding protocol messages.
+#[derive(Debug, Clone)]
+enum Msg {
+    Query {
+        key: String,
+        ttl: u32,
+        origin: NodeId,
+    },
+    Hit {
+        holder: NodeId,
+    },
+}
+
+fn msg_bytes(m: &Msg) -> usize {
+    match m {
+        Msg::Query { key, .. } => key.len() + 16,
+        Msg::Hit { .. } => 16,
+    }
+}
+
+/// A flooding network: a random `degree`-regular-ish overlay (seeded,
+/// deterministic); each node stores its own keys; queries flood up to
+/// `horizon` hops and holders answer the origin directly.
+pub struct Flooding {
+    net: SimNet<Msg>,
+    neighbors: Vec<Vec<NodeId>>,
+    keys: HashMap<NodeId, HashSet<String>>,
+    truth: HashMap<String, Vec<NodeId>>,
+}
+
+impl Flooding {
+    /// Builds the overlay: each node links to `degree` random others
+    /// (undirected union), seeded for reproducibility.
+    pub fn new(topology: Topology, degree: usize, seed: u64) -> Self {
+        let n = topology.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut neighbors: Vec<HashSet<NodeId>> = vec![HashSet::new(); n];
+        let all: Vec<NodeId> = (0..n).collect();
+        for v in 0..n {
+            let mut others: Vec<NodeId> = all.iter().copied().filter(|&u| u != v).collect();
+            others.shuffle(&mut rng);
+            for &u in others.iter().take(degree) {
+                neighbors[v].insert(u);
+                neighbors[u].insert(v);
+            }
+        }
+        let neighbors = neighbors
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<NodeId> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        Flooding {
+            net: SimNet::new(topology),
+            neighbors,
+            keys: HashMap::new(),
+            truth: HashMap::new(),
+        }
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> &mqp_net::NetStats {
+        self.net.stats()
+    }
+
+    /// The overlay neighbors of a node.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node]
+    }
+
+    /// Publishes a key at a node (local only — pure P2P keeps no
+    /// remote index).
+    pub fn publish(&mut self, node: NodeId, key: &str) {
+        self.keys.entry(node).or_default().insert(key.to_owned());
+        self.truth.entry(key.to_owned()).or_default().push(node);
+    }
+
+    /// True holders of a key.
+    pub fn truth(&self, key: &str) -> Vec<NodeId> {
+        self.truth.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Floods a query from `client` with the given horizon (TTL).
+    pub fn query(&mut self, client: NodeId, key: &str, horizon: u32) -> DiscoveryResult {
+        let before = self.net.stats().clone();
+        let start = self.net.now();
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        seen.insert(client);
+        // The client "receives" the query at itself, then floods.
+        let mut holders = Vec::new();
+        if self
+            .keys
+            .get(&client)
+            .is_some_and(|ks| ks.contains(key))
+        {
+            holders.push(client);
+        }
+        for &nb in &self.neighbors[client].clone() {
+            let m = Msg::Query {
+                key: key.to_owned(),
+                ttl: horizon,
+                origin: client,
+            };
+            let b = msg_bytes(&m);
+            self.net.send(client, nb, b, m);
+        }
+        let mut last = start;
+        while let Some(d) = self.net.step() {
+            last = d.at;
+            match d.payload {
+                Msg::Query { key, ttl, origin } => {
+                    if !seen.insert(d.to) {
+                        continue; // duplicate suppression
+                    }
+                    if self
+                        .keys
+                        .get(&d.to)
+                        .is_some_and(|ks| ks.contains(&key))
+                    {
+                        let hit = Msg::Hit { holder: d.to };
+                        let hb = msg_bytes(&hit);
+                        self.net.send(d.to, origin, hb, hit);
+                    }
+                    if ttl > 1 {
+                        for &nb in &self.neighbors[d.to].clone() {
+                            if nb != d.from {
+                                let m = Msg::Query {
+                                    key: key.clone(),
+                                    ttl: ttl - 1,
+                                    origin,
+                                };
+                                let b = msg_bytes(&m);
+                                self.net.send(d.to, nb, b, m);
+                            }
+                        }
+                    }
+                }
+                Msg::Hit { holder } => {
+                    if !holders.contains(&holder) {
+                        holders.push(holder);
+                    }
+                }
+            }
+        }
+        holders.sort_unstable();
+        let after = self.net.stats();
+        DiscoveryResult {
+            holders,
+            messages: after.messages_sent - before.messages_sent,
+            bytes: after.bytes_sent - before.bytes_sent,
+            latency_us: last.saturating_sub(start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(n: usize, degree: usize) -> Flooding {
+        Flooding::new(Topology::uniform(n, 5_000), degree, 42)
+    }
+
+    #[test]
+    fn overlay_is_symmetric_and_connected_enough() {
+        let f = world(20, 3);
+        for v in 0..20 {
+            assert!(f.neighbors(v).len() >= 3);
+            for &u in f.neighbors(v) {
+                assert!(f.neighbors(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_content_found() {
+        let mut f = world(10, 3);
+        // Put the key on a direct neighbor of node 0.
+        let nb = f.neighbors(0)[0];
+        f.publish(nb, "cds");
+        let r = f.query(0, "cds", 2);
+        assert_eq!(r.holders, vec![nb]);
+        assert!(r.messages >= 3); // flood + hit
+    }
+
+    #[test]
+    fn horizon_limits_recall() {
+        // A big sparse network: horizon 1 must miss most holders.
+        let mut f = Flooding::new(Topology::uniform(200, 1_000), 2, 7);
+        for node in (10..200).step_by(10) {
+            f.publish(node, "rare");
+        }
+        let truth = f.truth("rare");
+        let near = f.query(0, "rare", 1);
+        let far = f.query(0, "rare", 8);
+        assert!(near.recall(&truth) < far.recall(&truth));
+        assert!(near.messages < far.messages);
+    }
+
+    #[test]
+    fn message_cost_grows_with_horizon() {
+        let mut f = world(100, 4);
+        f.publish(50, "x");
+        let m1 = f.query(0, "x", 1).messages;
+        let m3 = f.query(0, "x", 3).messages;
+        let m5 = f.query(0, "x", 5).messages;
+        assert!(m1 < m3, "{m1} !< {m3}");
+        assert!(m3 <= m5, "{m3} !<= {m5}");
+    }
+
+    #[test]
+    fn client_own_content_counts() {
+        let mut f = world(5, 2);
+        f.publish(0, "mine");
+        let r = f.query(0, "mine", 1);
+        assert!(r.holders.contains(&0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut f = world(50, 3);
+            f.publish(17, "k");
+            f.publish(33, "k");
+            let r = f.query(0, "k", 4);
+            (r.holders.clone(), r.messages, r.latency_us)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the Figure-2 pipeline stages and the
+//! namespace algebra: the per-operation costs behind every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mqp_algebra::codec::{from_wire, to_wire};
+use mqp_algebra::plan::{JoinCond, Plan};
+use mqp_engine::eval_const;
+use mqp_namespace::{Cell, InterestArea};
+use mqp_xml::Element;
+
+fn collection(n: usize) -> Vec<Element> {
+    (0..n)
+        .map(|i| {
+            Element::new("item")
+                .child(Element::new("title").text(format!("Album-{:05}", i % (n / 2 + 1))))
+                .child(Element::new("price").text(format!("{}.99", i % 40)))
+        })
+        .collect()
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml");
+    for &n in &[100usize, 1_000, 10_000] {
+        let doc = Plan::data(collection(n));
+        let wire = to_wire(&doc);
+        g.throughput(Throughput::Bytes(wire.len() as u64));
+        g.bench_with_input(BenchmarkId::new("parse_plan", n), &wire, |b, w| {
+            b.iter(|| from_wire(w).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("serialize_plan", n), &doc, |b, p| {
+            b.iter(|| to_wire(p));
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for &n in &[100usize, 1_000, 10_000] {
+        let select = Plan::select("price < 10", Plan::data(collection(n)));
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("select", n), &select, |b, p| {
+            b.iter(|| eval_const(p).unwrap());
+        });
+        let join = Plan::join(
+            JoinCond::on("title", "title"),
+            Plan::data(collection(n)),
+            Plan::data(collection(n / 2)),
+        );
+        g.bench_with_input(BenchmarkId::new("hash_join", n), &join, |b, p| {
+            b.iter(|| eval_const(p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_namespace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("namespace");
+    let areas: Vec<InterestArea> = (0..64)
+        .map(|i| {
+            InterestArea::of(Cell::parse([
+                ["USA/OR/Portland", "USA/WA/Seattle", "France/IDF/Paris"][i % 3],
+                ["Furniture/Chairs", "Music/CDs", "Electronics/TV"][(i / 3) % 3],
+            ]))
+        })
+        .collect();
+    let query = InterestArea::of(Cell::parse(["USA/OR/Portland", "Furniture/Chairs"]));
+    g.bench_function("overlap_64_areas", |b| {
+        b.iter(|| areas.iter().filter(|a| a.overlaps(&query)).count());
+    });
+    g.bench_function("urn_roundtrip", |b| {
+        b.iter(|| {
+            let s = mqp_namespace::urn::encode_area(&query);
+            mqp_namespace::urn::decode_area(&s).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_xml, bench_engine, bench_namespace);
+criterion_main!(benches);

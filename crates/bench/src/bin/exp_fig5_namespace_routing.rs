@@ -1,0 +1,80 @@
+//! E4 — Figure 5 / §3.4: routing with the 2-dimension garage-sale
+//! namespace as the network grows, and the effect of route caches.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mqp_bench::{f2, mean, print_table};
+use mqp_workloads::garage::{build, random_query, GarageConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    for &sellers in &[10usize, 50, 200, 1000] {
+        for &warm in &[false, true] {
+            let mut w = build(GarageConfig {
+                sellers,
+                items_per_seller: 5,
+                index_servers: 8,
+                meta_servers: 2,
+                seed: 42,
+            });
+            w.harness.cache_learning = warm;
+            // Warm round first (same query mix) when caches are on.
+            let rounds = if warm { 2 } else { 1 };
+            let mut hops = Vec::new();
+            let mut bytes = Vec::new();
+            let mut lat = Vec::new();
+            let mut found = 0usize;
+            let mut total = 0usize;
+            for round in 0..rounds {
+                let mut rng = StdRng::seed_from_u64(7);
+                for _ in 0..25 {
+                    let q = random_query(&mut rng, Some(100.0));
+                    w.harness.submit(w.client, q);
+                    w.harness.run(10_000_000);
+                }
+                let outcomes = w.harness.take_completed();
+                if round + 1 == rounds {
+                    for q in &outcomes {
+                        total += 1;
+                        if q.failure.is_none() {
+                            found += 1;
+                            hops.push(q.hops as f64);
+                            bytes.push(q.mqp_bytes as f64);
+                            lat.push(q.latency_us as f64 / 1000.0);
+                        }
+                    }
+                }
+            }
+            rows.push(vec![
+                sellers.to_string(),
+                if warm { "warm" } else { "cold" }.to_string(),
+                format!("{found}/{total}"),
+                f2(mean(&hops)),
+                f2(mean(&bytes) / 1024.0),
+                f2(mean(&lat)),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 5 / §3.4: namespace routing vs network size (25 queries)",
+        &[
+            "sellers",
+            "caches",
+            "answered",
+            "mean hops",
+            "mean MQP KiB",
+            "mean latency ms",
+        ],
+        &rows,
+    );
+    println!(
+        "\nshape check: the *routing* hops (client -> binding server) stay \
+         flat as the population grows — the catalog walks the namespace \
+         hierarchy, not the peer list. Total hops grow only with the \
+         number of matching sellers, because a mutant plan visits holders \
+         serially (the pipelining tradeoff of §2). Warm route caches \
+         (§3.4) skip the meta-index wandering and shave ~1 hop plus the \
+         associated bytes per query."
+    );
+}

@@ -1,0 +1,133 @@
+//! E9 — §5.1: spoofing detection via provenance. A fraction of servers
+//! maliciously bind a competitor's source to the empty set; the
+//! client's provenance audit flags the bypassed sources, and the
+//! count(σ(B)) verification query confirms each spoof.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mqp_algebra::plan::Plan;
+use mqp_bench::{f2, print_table};
+use mqp_core::provenance::{unaccounted_sources, verification_query};
+use mqp_core::{Mqp, Outcome};
+use mqp_namespace::{Cell, Hierarchy, InterestArea, Namespace};
+use mqp_peer::Peer;
+use mqp_xml::Element;
+
+fn ns() -> Namespace {
+    Namespace::new([Hierarchy::new("Loc").with(["X"])])
+}
+
+fn area() -> InterestArea {
+    InterestArea::of(Cell::parse(["X"]))
+}
+
+/// One trial: a union over `sources` servers; each server evaluates its
+/// own branch honestly, but a spoofing server first empties every
+/// *other* branch it can see. Returns (spoofed_sources, detected,
+/// confirmed_by_verification).
+fn trial(sources: usize, spoof_fraction: f64, seed: u64) -> (usize, usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut peers: Vec<Peer> = (0..sources)
+        .map(|i| {
+            let mut p = Peer::new(format!("s{i}"), ns());
+            p.add_collection(
+                "c",
+                area(),
+                [Element::new("item").child(Element::new("v").text(i.to_string()))],
+            );
+            p
+        })
+        .collect();
+    let malicious: Vec<bool> = (0..sources).map(|_| rng.gen_bool(spoof_fraction)).collect();
+
+    let original = Plan::union((0..sources).map(|i| Plan::url(format!("mqp://s{i}/"))));
+    let mut mqp = Mqp::new(Plan::display("client#0", original.clone()));
+
+    // Walk the MQP through the servers in order.
+    let mut spoofed = 0usize;
+    for (i, peer) in peers.iter_mut().enumerate() {
+        if malicious[i] {
+            // Spoof: bind every other still-unresolved URL to empty data.
+            loop {
+                let victim = mqp.plan.find_all(&|p| {
+                    matches!(p, Plan::Url(u) if u.href != format!("mqp://s{i}/"))
+                });
+                let Some(path) = victim.first() else { break };
+                mqp.plan.replace(path, Plan::data([])).unwrap();
+                spoofed += 1;
+            }
+        }
+        match peer.process(&mut mqp) {
+            Outcome::Complete { .. } => break,
+            Outcome::Forward { .. } => {}
+            Outcome::Stuck { .. } => break,
+        }
+    }
+
+    // Client-side audit.
+    let missing = unaccounted_sources(mqp.original.as_ref().unwrap(), &mqp.provenance);
+    let detected = missing.len();
+
+    // Verification queries: each flagged source is asked count(B).
+    let mut confirmed = 0usize;
+    for src in &missing {
+        let Some(id) = src.strip_prefix("mqp://").and_then(|s| s.strip_suffix('/')) else {
+            continue;
+        };
+        let Some(idx) = id.strip_prefix('s').and_then(|n| n.parse::<usize>().ok()) else {
+            continue;
+        };
+        let vq = verification_query(Plan::url(src.clone()), "auditor#0");
+        let mut vmqp = Mqp::new(vq);
+        if let Outcome::Complete { items, .. } = peers[idx].process(&mut vmqp) {
+            if items[0].deep_text() != "0" {
+                confirmed += 1;
+            }
+        }
+    }
+    (spoofed, detected, confirmed)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &frac in &[0.0f64, 0.1, 0.25, 0.5] {
+        let (mut tot_spoofed, mut tot_detected, mut tot_confirmed, runs) = (0, 0, 0, 20);
+        for seed in 0..runs {
+            let (s, d, c) = trial(8, frac, seed);
+            tot_spoofed += s;
+            tot_detected += d;
+            tot_confirmed += c;
+        }
+        rows.push(vec![
+            format!("{:.0}%", frac * 100.0),
+            tot_spoofed.to_string(),
+            tot_detected.to_string(),
+            tot_confirmed.to_string(),
+            if tot_spoofed == 0 {
+                "n/a".to_string()
+            } else {
+                f2(tot_detected as f64 / tot_spoofed as f64)
+            },
+        ]);
+    }
+    print_table(
+        "provenance spoofing audit (8 sources, 20 trials per row)",
+        &[
+            "malicious fraction",
+            "branches spoofed",
+            "flagged by audit",
+            "confirmed by count()",
+            "detection rate",
+        ],
+        &rows,
+    );
+    println!(
+        "\nshape check: zero false positives at 0% malicious; every \
+         spoofed branch is flagged (the provenance shows the source was \
+         never visited) and the count() verification query confirms the \
+         bypassed server actually holds data — §5.1's detection story. \
+         (What provenance cannot catch, as the paper notes, is a server \
+         lying about its *own* contents.)"
+    );
+}

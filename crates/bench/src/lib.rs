@@ -1,0 +1,85 @@
+//! # mqp-bench — the experiment harness
+//!
+//! One binary per paper figure / claim (see DESIGN.md §3 for the
+//! experiment index and EXPERIMENTS.md for recorded results):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `exp_fig1_gene_routing` | Figure 1 routing decisions |
+//! | `exp_fig2_pipeline` | Figure 2 stage costs |
+//! | `exp_fig3_mqp_trace` | Figures 3–4 hop-by-hop evaluation |
+//! | `exp_fig5_namespace_routing` | Figure 5 / §3.4 routing + caches |
+//! | `exp_routing_comparison` | §1/§6 catalog vs. Napster/Gnutella/DHT |
+//! | `exp_rewrite_ablation` | §2 absorption rewrite |
+//! | `exp_intensional_redundancy` | §4.2 Examples 1–3 |
+//! | `exp_currency_latency` | §4.3 tradeoff |
+//! | `exp_provenance_spoofing` | §5.1 spoofing detection |
+//! | `exp_index_detail_tradeoff` | §3.2 index vs. meta-index detail |
+//!
+//! Run any of them with
+//! `cargo run -p mqp-bench --release --bin <name>`. Criterion
+//! micro-benches (`cargo bench`) cover the per-stage costs.
+
+/// Prints a fixed-width ASCII table (the format EXPERIMENTS.md quotes).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_empty_and_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_does_not_panic() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Catalog entries: who serves what, at which level.
+
+use std::fmt;
+
+use mqp_namespace::InterestArea;
+
+/// Identifies a peer. In the simulator this is a logical name
+/// (`"peer-17"`); the wire form of a server address is the URL
+/// `mqp://<id>/` so plan leaves can reference peers uniformly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub String);
+
+impl ServerId {
+    /// Creates a server id.
+    pub fn new(s: impl Into<String>) -> Self {
+        ServerId(s.into())
+    }
+
+    /// The id as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// URL form used in plan `url` leaves, e.g. `mqp://peer-17/`.
+    pub fn to_url(&self) -> String {
+        format!("mqp://{}/", self.0)
+    }
+
+    /// Parses the URL form back to a server id.
+    pub fn from_url(url: &str) -> Option<ServerId> {
+        let rest = url.strip_prefix("mqp://")?;
+        let id = rest.strip_suffix('/').unwrap_or(rest);
+        if id.is_empty() {
+            None
+        } else {
+            Some(ServerId(id.to_owned()))
+        }
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ServerId {
+    fn from(s: &str) -> Self {
+        ServerId(s.to_owned())
+    }
+}
+
+/// What kind of holding an entry (or intensional-statement reference)
+/// describes — the paper's `base[...]` / `index[...]` levels, with
+/// meta-index as the index-of-indexes level (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// Actual data collections.
+    Base,
+    /// Index over base servers (may also carry attribute indexes).
+    Index,
+    /// Index over servers only (namespace indices, no data attributes).
+    MetaIndex,
+}
+
+impl Level {
+    /// Wire/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Base => "base",
+            Level::Index => "index",
+            Level::MetaIndex => "meta",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Option<Level> {
+        Some(match s {
+            "base" => Level::Base,
+            "index" => Level::Index,
+            "meta" | "meta-index" | "metaindex" => Level::MetaIndex,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One catalog entry: a server known to hold data (or indexes) for an
+/// interest area. Index-server entries for base data also carry the
+/// collection identifier — the paper's
+/// `(http://10.3.4.5, /data[id=245])` pairs (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// The server.
+    pub server: ServerId,
+    /// What the entry describes: base data, an index, or a meta-index.
+    pub level: Level,
+    /// The interest area the server declares for this holding.
+    pub area: InterestArea,
+    /// XPath collection identifier at the server (base entries only).
+    pub collection: Option<String>,
+    /// Whether the server claims to be authoritative for this area
+    /// (§3.3: "strives to know about all base servers within its area").
+    pub authoritative: bool,
+}
+
+impl CatalogEntry {
+    /// A base-data entry.
+    pub fn base(server: impl Into<ServerId>, area: InterestArea) -> Self {
+        CatalogEntry {
+            server: server.into(),
+            level: Level::Base,
+            area,
+            collection: None,
+            authoritative: false,
+        }
+    }
+
+    /// An index-server entry.
+    pub fn index(server: impl Into<ServerId>, area: InterestArea) -> Self {
+        CatalogEntry {
+            server: server.into(),
+            level: Level::Index,
+            area,
+            collection: None,
+            authoritative: false,
+        }
+    }
+
+    /// A meta-index-server entry.
+    pub fn meta_index(server: impl Into<ServerId>, area: InterestArea) -> Self {
+        CatalogEntry {
+            server: server.into(),
+            level: Level::MetaIndex,
+            area,
+            collection: None,
+            authoritative: false,
+        }
+    }
+
+    /// Sets the collection identifier; returns `self` for chaining.
+    pub fn with_collection(mut self, path: impl Into<String>) -> Self {
+        self.collection = Some(path.into());
+        self
+    }
+
+    /// Marks the entry authoritative; returns `self` for chaining.
+    pub fn authoritative(mut self) -> Self {
+        self.authoritative = true;
+        self
+    }
+}
+
+impl From<String> for ServerId {
+    fn from(s: String) -> Self {
+        ServerId(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqp_namespace::InterestArea;
+
+    #[test]
+    fn server_id_url_roundtrip() {
+        let id = ServerId::new("peer-17");
+        assert_eq!(id.to_url(), "mqp://peer-17/");
+        assert_eq!(ServerId::from_url(&id.to_url()), Some(id.clone()));
+        assert_eq!(ServerId::from_url("mqp://x"), Some(ServerId::new("x")));
+        assert_eq!(ServerId::from_url("http://x/"), None);
+        assert_eq!(ServerId::from_url("mqp:///"), None);
+    }
+
+    #[test]
+    fn level_names_roundtrip() {
+        for l in [Level::Base, Level::Index, Level::MetaIndex] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+        assert_eq!(Level::parse("super"), None);
+    }
+
+    #[test]
+    fn entry_builders() {
+        let area = InterestArea::parse(&[&["USA/OR", "*"]]);
+        let e = CatalogEntry::index("idx-1", area.clone())
+            .authoritative();
+        assert_eq!(e.level, Level::Index);
+        assert!(e.authoritative);
+        let b = CatalogEntry::base("seller", area).with_collection("/data[@id='245']");
+        assert_eq!(b.collection.as_deref(), Some("/data[@id='245']"));
+    }
+}

@@ -1,0 +1,523 @@
+//! The per-peer catalog store: entries, named-URN mappings, intensional
+//! statements, the binding algorithm, routing, and the route cache.
+
+use std::collections::BTreeMap;
+
+use mqp_namespace::{InterestArea, Urn};
+
+use crate::binding::{Binding, BindingAlternative};
+use crate::entry::{CatalogEntry, Level, ServerId};
+use crate::intension::IntensionalStatement;
+
+/// A peer's local catalog (paper §2: "we resolve URNs by consulting a
+/// catalog, which we maintain locally at each peer. A catalog contains
+/// mappings from URNs to (sets of) URLs, or from URNs to servers that
+/// know how to resolve them.").
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    entries: Vec<CatalogEntry>,
+    statements: Vec<IntensionalStatement>,
+    /// Named-URN mappings: `urn:ForSale:Portland-CDs` → servers (+
+    /// collection ids).
+    urn_map: BTreeMap<String, Vec<(ServerId, Option<String>)>>,
+    /// Route cache (§3.4: "peers maintain caches of index and meta-index
+    /// servers for interest areas, so that they can route plans more
+    /// efficiently in the future").
+    route_cache: BTreeMap<String, ServerId>,
+    route_cache_cap: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl Catalog {
+    /// An empty catalog with the default route-cache capacity (256).
+    pub fn new() -> Self {
+        Catalog {
+            route_cache_cap: 256,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the route-cache capacity (0 disables caching).
+    pub fn with_cache_cap(mut self, cap: usize) -> Self {
+        self.route_cache_cap = cap;
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Registers (or refreshes) an entry. Entries are keyed by
+    /// `(server, level)`: a re-registration replaces the server's area
+    /// at that level (areas are unioned — a server's declared interest
+    /// can grow).
+    pub fn register(&mut self, entry: CatalogEntry) {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.server == entry.server && e.level == entry.level)
+        {
+            existing.area = existing.area.union(&entry.area);
+            existing.authoritative |= entry.authoritative;
+            if entry.collection.is_some() {
+                existing.collection = entry.collection;
+            }
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Removes all entries for a server (e.g. when it leaves).
+    pub fn unregister(&mut self, server: &ServerId) {
+        self.entries.retain(|e| &e.server != server);
+        self.route_cache.retain(|_, s| s != server);
+    }
+
+    /// Records an intensional statement (§4.2: "whenever a server
+    /// registers an interest area with a meta-index server, it can also
+    /// provide intensional statements that the meta-index server can
+    /// retain").
+    pub fn add_statement(&mut self, stmt: IntensionalStatement) {
+        if !self.statements.contains(&stmt) {
+            self.statements.push(stmt);
+        }
+    }
+
+    /// Maps a named URN to a server (+ optional collection id).
+    pub fn map_urn(
+        &mut self,
+        urn: &str,
+        server: impl Into<ServerId>,
+        collection: Option<String>,
+    ) {
+        let list = self.urn_map.entry(urn.to_owned()).or_default();
+        let pair = (server.into(), collection);
+        if !list.contains(&pair) {
+            list.push(pair);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// All entries.
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+
+    /// All statements.
+    pub fn statements(&self) -> &[IntensionalStatement] {
+        &self.statements
+    }
+
+    /// (cache hits, cache misses) since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
+    /// Approximate in-memory footprint: number of entries + statements +
+    /// URN mappings. Used by the index-detail experiments (E10).
+    pub fn size(&self) -> usize {
+        self.entries.len()
+            + self.statements.len()
+            + self.urn_map.values().map(Vec::len).sum::<usize>()
+    }
+
+    // ------------------------------------------------------------------
+    // Resolution
+    // ------------------------------------------------------------------
+
+    /// Resolves a named URN to its mapped servers.
+    pub fn resolve_named(&self, urn: &Urn) -> Vec<(ServerId, Option<String>)> {
+        match urn {
+            Urn::Named { .. } => self
+                .urn_map
+                .get(&urn.to_string())
+                .cloned()
+                .unwrap_or_default(),
+            Urn::InterestArea(_) => Vec::new(),
+        }
+    }
+
+    /// Base entries whose area overlaps the query area — the servers
+    /// that *might* hold pertinent items (§3.1).
+    pub fn base_entries_overlapping(&self, area: &InterestArea) -> Vec<&CatalogEntry> {
+        let mut v: Vec<&CatalogEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.level == Level::Base && e.area.overlaps(area))
+            .collect();
+        // Deterministic order: most specific first, then by id.
+        v.sort_by(|a, b| {
+            b.area
+                .specificity()
+                .cmp(&a.area.specificity())
+                .then_with(|| a.server.cmp(&b.server))
+        });
+        v
+    }
+
+    /// The binding algorithm of §4.2: the default union of overlapping
+    /// base servers, plus every alternative the intensional statements
+    /// license. Alternative 0 is always the default (staleness 0).
+    pub fn bind_area(&self, area: &InterestArea) -> Binding {
+        let default_servers: Vec<ServerId> = self
+            .base_entries_overlapping(area)
+            .iter()
+            .map(|e| e.server.clone())
+            .collect();
+        let mut alternatives = Vec::new();
+        if !default_servers.is_empty() {
+            alternatives.push(BindingAlternative {
+                servers: default_servers
+                    .iter()
+                    .map(|s| (s.clone(), Level::Base))
+                    .collect(),
+                staleness: 0,
+                note: "default: union of overlapping base servers".to_owned(),
+            });
+        }
+
+        for stmt in &self.statements {
+            if !stmt.lhs_answers(area) {
+                continue;
+            }
+            let subsumed = stmt.subsumed_servers(area);
+            if subsumed.is_empty() {
+                continue;
+            }
+            // Replace the subsumed servers with the lhs holder. Whatever
+            // of the default the statement does not speak about stays.
+            let mut servers: Vec<(ServerId, Level)> = default_servers
+                .iter()
+                .filter(|s| !subsumed.contains(s))
+                .map(|s| (s.clone(), Level::Base))
+                .collect();
+            let lhs_pair = (stmt.lhs.server.clone(), stmt.lhs.level);
+            if !servers.contains(&lhs_pair) {
+                servers.push(lhs_pair);
+            }
+            let alt = BindingAlternative {
+                servers,
+                staleness: stmt.lhs_staleness(),
+                note: format!("via statement: {stmt}"),
+            };
+            if !alternatives
+                .iter()
+                .any(|a: &BindingAlternative| a.servers == alt.servers)
+            {
+                alternatives.push(alt);
+            }
+        }
+
+        Binding {
+            area: area.clone(),
+            alternatives,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    /// Where to forward a plan whose area this catalog cannot fully
+    /// bind (§3.4). Consults the route cache, then picks the best
+    /// index/meta-index entry overlapping the area:
+    ///
+    /// 1. entries covering the whole area beat partial overlaps;
+    /// 2. more specific areas beat broader ones (avoids flooding
+    ///    high-level servers, §3.4);
+    /// 3. authoritative beats non-authoritative (§3.3);
+    /// 4. `Index` beats `MetaIndex` (richer indices route better);
+    /// 5. server id breaks ties (determinism).
+    ///
+    /// `exclude` lists servers the plan already visited (loop
+    /// avoidance).
+    pub fn route_for(&self, area: &InterestArea, exclude: &[ServerId]) -> Option<ServerId> {
+        let key = cache_key(area);
+        if let Some(s) = self.route_cache.get(&key) {
+            if !exclude.contains(s) {
+                return Some(s.clone());
+            }
+        }
+        self.entries
+            .iter()
+            .filter(|e| {
+                matches!(e.level, Level::Index | Level::MetaIndex)
+                    && e.area.overlaps(area)
+                    && !exclude.contains(&e.server)
+            })
+            .max_by(|a, b| {
+                let cover = |e: &CatalogEntry| e.area.covers(area);
+                cover(a)
+                    .cmp(&cover(b))
+                    .then(a.area.specificity().cmp(&b.area.specificity()))
+                    .then(a.authoritative.cmp(&b.authoritative))
+                    .then((a.level == Level::Index).cmp(&(b.level == Level::Index)))
+                    .then(b.server.cmp(&a.server)) // reversed: smaller id wins
+            })
+            .map(|e| e.server.clone())
+    }
+
+    /// Looks up the route cache (counts hit/miss).
+    pub fn cached_route(&mut self, area: &InterestArea) -> Option<ServerId> {
+        match self.route_cache.get(&cache_key(area)) {
+            Some(s) => {
+                self.cache_hits += 1;
+                Some(s.clone())
+            }
+            None => {
+                self.cache_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records that `server` successfully handled `area` (populates the
+    /// cache used by [`Catalog::route_for`]).
+    pub fn record_route(&mut self, area: &InterestArea, server: ServerId) {
+        if self.route_cache_cap == 0 {
+            return;
+        }
+        if self.route_cache.len() >= self.route_cache_cap
+            && !self.route_cache.contains_key(&cache_key(area))
+        {
+            // Evict the lexicographically first entry: cheap, deterministic.
+            if let Some(k) = self.route_cache.keys().next().cloned() {
+                self.route_cache.remove(&k);
+            }
+        }
+        self.route_cache.insert(cache_key(area), server);
+    }
+}
+
+fn cache_key(area: &InterestArea) -> String {
+    mqp_namespace::urn::encode_area(area)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqp_namespace::InterestArea;
+
+    fn area(cells: &[&[&str]]) -> InterestArea {
+        InterestArea::parse(cells)
+    }
+
+    /// The catalog of §4.2 Example 1: meta-index server M knows R
+    /// ([Portland, Recreation]) and S ([Oregon, Sporting Goods]).
+    fn example1_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(CatalogEntry::base(
+            "R",
+            area(&[&["Oregon/Portland", "Recreation"]]),
+        ));
+        c.register(CatalogEntry::base(
+            "S",
+            area(&[&["Oregon", "Recreation/SportingGoods"]]),
+        ));
+        c
+    }
+
+    #[test]
+    fn default_binding_unions_overlapping_bases() {
+        let c = example1_catalog();
+        let q = area(&[&["Oregon/Portland", "Recreation/SportingGoods/GolfClubs"]]);
+        let b = c.bind_area(&q);
+        assert_eq!(b.alternatives.len(), 1);
+        let servers: Vec<&str> = b.alternatives[0]
+            .servers
+            .iter()
+            .map(|(s, _)| s.as_str())
+            .collect();
+        assert_eq!(servers, ["R", "S"]);
+    }
+
+    #[test]
+    fn example1_statement_licenses_single_server() {
+        let mut c = example1_catalog();
+        c.add_statement(
+            "base[Oregon.Portland, Recreation.SportingGoods]@R = \
+             base[Oregon.Portland, Recreation.SportingGoods]@S"
+                .parse()
+                .unwrap(),
+        );
+        let q = area(&[&["Oregon/Portland", "Recreation/SportingGoods/GolfClubs"]]);
+        let b = c.bind_area(&q);
+        // Default (R ∪ S) plus the licensed R-only alternative.
+        assert_eq!(b.alternatives.len(), 2);
+        assert_eq!(b.alternatives[1].servers.len(), 1);
+        assert_eq!(b.alternatives[1].servers[0].0.as_str(), "R");
+        assert_eq!(b.alternatives[1].staleness, 0);
+    }
+
+    #[test]
+    fn example3_containment_with_delay() {
+        // base[Portland, *]@R >= base[Portland, *]@S{30}
+        let mut c = Catalog::new();
+        c.register(CatalogEntry::base("R", area(&[&["Portland", "*"]])));
+        c.register(CatalogEntry::base("S", area(&[&["Portland", "*"]])));
+        c.add_statement(
+            "base[Portland, *]@R >= base[Portland, *]@S{30}".parse().unwrap(),
+        );
+        let q = area(&[&["Portland", "CDs"]]);
+        let b = c.bind_area(&q);
+        assert_eq!(b.alternatives.len(), 2);
+        // Default: both, current.
+        assert_eq!(b.alternatives[0].fanout(), 2);
+        assert_eq!(b.alternatives[0].staleness, 0);
+        // Alternative: R alone, up to 30 minutes stale.
+        assert_eq!(b.alternatives[1].fanout(), 1);
+        assert_eq!(b.alternatives[1].staleness, 30);
+    }
+
+    #[test]
+    fn example2_index_coverage_routes_to_index_server() {
+        let mut c = Catalog::new();
+        for s in ["S", "T", "U"] {
+            c.register(CatalogEntry::base(s, area(&[&["Oregon", "GolfClubs"]])));
+        }
+        c.add_statement(
+            "index[Oregon, GolfClubs]@R = base[Oregon, GolfClubs]@S U \
+             base[Oregon, GolfClubs]@T U base[Oregon, GolfClubs]@U"
+                .parse()
+                .unwrap(),
+        );
+        let q = area(&[&["Oregon/Portland", "GolfClubs/Putters"]]);
+        let b = c.bind_area(&q);
+        assert_eq!(b.alternatives.len(), 2);
+        let idx_alt = &b.alternatives[1];
+        assert_eq!(idx_alt.fanout(), 1);
+        assert_eq!(idx_alt.servers[0].0.as_str(), "R");
+        assert_eq!(idx_alt.servers[0].1, Level::Index);
+    }
+
+    #[test]
+    fn statement_not_covering_query_ignored() {
+        let mut c = example1_catalog();
+        c.add_statement(
+            // Statement about Eugene doesn't help a Portland query.
+            "base[Oregon.Eugene, Recreation]@R = base[Oregon.Eugene, Recreation]@S"
+                .parse()
+                .unwrap(),
+        );
+        let q = area(&[&["Oregon/Portland", "Recreation/SportingGoods"]]);
+        assert_eq!(c.bind_area(&q).alternatives.len(), 1);
+    }
+
+    #[test]
+    fn unknown_area_binds_empty() {
+        let c = example1_catalog();
+        let q = area(&[&["France", "Cheese"]]);
+        assert!(c.bind_area(&q).is_empty());
+    }
+
+    #[test]
+    fn named_urn_resolution() {
+        let mut c = Catalog::new();
+        let urn = Urn::named("ForSale", "Portland-CDs");
+        c.map_urn(
+            "urn:ForSale:Portland-CDs",
+            "seller-1",
+            Some("/data[@id='245']".to_owned()),
+        );
+        c.map_urn("urn:ForSale:Portland-CDs", "seller-2", None);
+        let hits = c.resolve_named(&urn);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0.as_str(), "seller-1");
+        assert_eq!(hits[0].1.as_deref(), Some("/data[@id='245']"));
+        assert!(c.resolve_named(&Urn::named("ForSale", "Nothing")).is_empty());
+    }
+
+    #[test]
+    fn register_merges_same_server_level() {
+        let mut c = Catalog::new();
+        c.register(CatalogEntry::base("R", area(&[&["Portland", "CDs"]])));
+        c.register(CatalogEntry::base("R", area(&[&["Portland", "Books"]])));
+        assert_eq!(c.entries().len(), 1);
+        let q = area(&[&["Portland", "Books"]]);
+        assert!(!c.bind_area(&q).is_empty());
+    }
+
+    #[test]
+    fn unregister_removes_server() {
+        let mut c = example1_catalog();
+        c.unregister(&ServerId::new("R"));
+        let q = area(&[&["Oregon/Portland", "Recreation"]]);
+        let b = c.bind_area(&q);
+        assert_eq!(b.alternatives.len(), 1);
+        assert_eq!(b.alternatives[0].servers[0].0.as_str(), "S");
+    }
+
+    #[test]
+    fn route_prefers_covering_authoritative_specific() {
+        let mut c = Catalog::new();
+        c.register(CatalogEntry::meta_index("broad", area(&[&["*", "*"]])));
+        c.register(
+            CatalogEntry::meta_index("usa", area(&[&["USA", "*"]])).authoritative(),
+        );
+        c.register(CatalogEntry::index(
+            "or-music",
+            area(&[&["USA/OR", "Music"]]),
+        ));
+        let q = area(&[&["USA/OR/Portland", "Music/CDs"]]);
+        // or-music covers the query, is most specific, and is an index.
+        assert_eq!(c.route_for(&q, &[]).unwrap().as_str(), "or-music");
+        // Excluding it falls back to the authoritative USA meta-index.
+        assert_eq!(
+            c.route_for(&q, &[ServerId::new("or-music")]).unwrap().as_str(),
+            "usa"
+        );
+        // Excluding both leaves the broad one.
+        assert_eq!(
+            c.route_for(&q, &[ServerId::new("or-music"), ServerId::new("usa")])
+                .unwrap()
+                .as_str(),
+            "broad"
+        );
+    }
+
+    #[test]
+    fn route_cache_hit_and_eviction() {
+        let mut c = Catalog::new().with_cache_cap(2);
+        let a1 = area(&[&["USA/OR", "Music"]]);
+        let a2 = area(&[&["USA/WA", "Music"]]);
+        let a3 = area(&[&["France", "Music"]]);
+        assert!(c.cached_route(&a1).is_none());
+        c.record_route(&a1, ServerId::new("x"));
+        c.record_route(&a2, ServerId::new("y"));
+        assert_eq!(c.cached_route(&a1).unwrap().as_str(), "x");
+        c.record_route(&a3, ServerId::new("z")); // evicts one
+        let present = [&a1, &a2, &a3]
+            .iter()
+            .filter(|a| c.cached_route(a).is_some())
+            .count();
+        assert_eq!(present, 2);
+        let (hits, misses) = c.cache_stats();
+        assert!(hits >= 1 && misses >= 1);
+    }
+
+    #[test]
+    fn cached_route_respected_by_route_for() {
+        let mut c = Catalog::new();
+        c.register(CatalogEntry::index("idx", area(&[&["USA", "*"]])));
+        let q = area(&[&["USA/OR", "Music"]]);
+        c.record_route(&q, ServerId::new("fastpath"));
+        assert_eq!(c.route_for(&q, &[]).unwrap().as_str(), "fastpath");
+        // Excluded cache entry falls through to catalog entries.
+        assert_eq!(
+            c.route_for(&q, &[ServerId::new("fastpath")]).unwrap().as_str(),
+            "idx"
+        );
+    }
+
+    #[test]
+    fn catalog_size_counts_components() {
+        let mut c = example1_catalog();
+        c.map_urn("urn:X:y", "s", None);
+        c.add_statement("base[A]@R = base[A]@S".parse().unwrap());
+        assert_eq!(c.size(), 2 + 1 + 1);
+    }
+}

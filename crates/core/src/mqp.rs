@@ -1,0 +1,258 @@
+//! The MQP envelope: what actually travels between servers.
+//!
+//! §5.1 argues for carrying more than the bare plan: provenance, and a
+//! copy of the original query ("Maintaining the original query along
+//! with the partially evaluated query also allows a server to improve or
+//! enhance bindings (or even undo them)"). The envelope is itself XML:
+//!
+//! ```text
+//! <mqp>
+//!   <plan> current plan </plan>
+//!   <original> original plan </original>      (optional)
+//!   <provenance> <visit …/>* </provenance>
+//! </mqp>
+//! ```
+
+use mqp_algebra::codec::{plan_from_xml, plan_to_xml, CodecError};
+use mqp_algebra::plan::Plan;
+use mqp_xml::{Element, Node};
+
+use crate::constraints::Constraints;
+use crate::provenance::VisitRecord;
+
+/// A mutant query plan in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mqp {
+    /// The current (partially evaluated) plan.
+    pub plan: Plan,
+    /// The original plan as submitted by the client, if carried.
+    pub original: Option<Plan>,
+    /// The visit history.
+    pub provenance: Vec<VisitRecord>,
+    /// Ordering/transfer policies (§5.2).
+    pub constraints: Constraints,
+}
+
+impl Mqp {
+    /// Wraps a fresh client plan; keeps a copy as the original.
+    pub fn new(plan: Plan) -> Self {
+        Mqp {
+            original: Some(plan.clone()),
+            plan,
+            provenance: Vec::new(),
+            constraints: Constraints::none(),
+        }
+    }
+
+    /// Attaches §5.2 constraints; returns `self` for chaining.
+    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Wraps a plan without keeping the original (leaner envelopes; the
+    /// tradeoff §5.1 discusses).
+    pub fn without_original(plan: Plan) -> Self {
+        Mqp {
+            plan,
+            original: None,
+            provenance: Vec::new(),
+            constraints: Constraints::none(),
+        }
+    }
+
+    /// Appends a provenance record.
+    pub fn record(&mut self, visit: VisitRecord) {
+        self.provenance.push(visit);
+    }
+
+    /// Servers visited so far, in order, without duplicates.
+    pub fn visited(&self) -> Vec<mqp_catalog::ServerId> {
+        let mut out = Vec::new();
+        for v in &self.provenance {
+            if !out.contains(&v.server) {
+                out.push(v.server.clone());
+            }
+        }
+        out
+    }
+
+    /// Worst-case staleness of any information used so far (minutes).
+    pub fn staleness(&self) -> u32 {
+        self.provenance.iter().map(|v| v.staleness).max().unwrap_or(0)
+    }
+
+    /// Serializes the envelope to XML.
+    pub fn to_xml(&self) -> Element {
+        let mut e = Element::new("mqp");
+        e.push_child(Node::Element(
+            Element::new("plan").child(plan_to_xml(&self.plan)),
+        ));
+        if let Some(orig) = &self.original {
+            e.push_child(Node::Element(
+                Element::new("original").child(plan_to_xml(orig)),
+            ));
+        }
+        let mut prov = Element::new("provenance");
+        for v in &self.provenance {
+            prov.push_child(Node::Element(v.to_xml()));
+        }
+        e.push_child(Node::Element(prov));
+        if !self.constraints.is_empty() {
+            e.push_child(Node::Element(self.constraints.to_xml()));
+        }
+        e
+    }
+
+    /// Parses an envelope from XML.
+    pub fn from_xml(e: &Element) -> Result<Mqp, CodecError> {
+        let bad = |m: &str| CodecError::Malformed(m.to_owned());
+        if e.name() != "mqp" {
+            return Err(bad("envelope root must be <mqp>"));
+        }
+        let plan_el = e
+            .first("plan")
+            .and_then(|p| p.child_elements().next())
+            .ok_or_else(|| bad("missing <plan>"))?;
+        let plan = plan_from_xml(plan_el)?;
+        let original = match e.first("original").and_then(|o| o.child_elements().next()) {
+            Some(el) => Some(plan_from_xml(el)?),
+            None => None,
+        };
+        let mut provenance = Vec::new();
+        if let Some(prov) = e.first("provenance") {
+            for v in prov.child_elements() {
+                provenance.push(
+                    VisitRecord::from_xml(v).ok_or_else(|| bad("bad <visit> record"))?,
+                );
+            }
+        }
+        let constraints = match e.first("constraints") {
+            Some(c) => Constraints::from_xml(c).ok_or_else(|| bad("bad <constraints>"))?,
+            None => Constraints::none(),
+        };
+        Ok(Mqp {
+            plan,
+            original,
+            provenance,
+            constraints,
+        })
+    }
+
+    /// Serializes to the compact wire string.
+    pub fn to_wire(&self) -> String {
+        mqp_xml::serialize(&self.to_xml())
+    }
+
+    /// Parses from the wire string.
+    pub fn from_wire(s: &str) -> Result<Mqp, CodecError> {
+        let root = mqp_xml::parse(s)?;
+        Mqp::from_xml(&root)
+    }
+
+    /// Byte size of the envelope on the wire — what the network charges
+    /// per hop.
+    pub fn wire_size(&self) -> usize {
+        self.to_xml().serialized_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::Action;
+    use mqp_catalog::ServerId;
+
+    fn sample() -> Mqp {
+        let plan = Plan::display(
+            "client:9020",
+            Plan::select("price < 10", Plan::urn("urn:ForSale:Portland-CDs")),
+        );
+        let mut m = Mqp::new(plan);
+        m.record(VisitRecord {
+            server: ServerId::new("meta-usa"),
+            action: Action::Bound,
+            detail: "urn:ForSale:Portland-CDs -> mqp://seller-1/".to_owned(),
+            at: 1000,
+            staleness: 0,
+        });
+        m
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let m = sample();
+        let wire = m.to_wire();
+        let back = Mqp::from_wire(&wire).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn envelope_without_original_roundtrip() {
+        let m = Mqp::without_original(Plan::data([]));
+        let back = Mqp::from_wire(&m.to_wire()).unwrap();
+        assert_eq!(back, m);
+        assert!(back.original.is_none());
+    }
+
+    #[test]
+    fn wire_size_matches() {
+        let m = sample();
+        assert_eq!(m.wire_size(), m.to_wire().len());
+    }
+
+    #[test]
+    fn visited_dedups_in_order() {
+        let mut m = sample();
+        for s in ["a", "b", "a"] {
+            m.record(VisitRecord {
+                server: ServerId::new(s),
+                action: Action::Forwarded,
+                detail: String::new(),
+                at: 0,
+                staleness: 0,
+            });
+        }
+        let visited: Vec<String> =
+            m.visited().iter().map(|s| s.as_str().to_owned()).collect();
+        assert_eq!(visited, ["meta-usa", "a", "b"]);
+    }
+
+    #[test]
+    fn staleness_is_max() {
+        let mut m = sample();
+        m.record(VisitRecord {
+            server: ServerId::new("r"),
+            action: Action::Evaluated,
+            detail: String::new(),
+            at: 5,
+            staleness: 30,
+        });
+        assert_eq!(m.staleness(), 30);
+    }
+
+    #[test]
+    fn constraints_roundtrip() {
+        let m = sample().with_constraints(
+            Constraints::none()
+                .allow_only(["irs", "state"])
+                .bind_after("urn:A:x", "urn:B:y"),
+        );
+        let back = Mqp::from_wire(&m.to_wire()).unwrap();
+        assert_eq!(back, m);
+        assert!(!back.constraints.is_empty());
+    }
+
+    #[test]
+    fn malformed_envelopes_rejected() {
+        for bad in [
+            "<notmqp/>",
+            "<mqp/>",
+            "<mqp><plan/></mqp>",
+            "<mqp><plan><mystery/></plan></mqp>",
+            "<mqp><plan><data/></plan><provenance><visit/></provenance></mqp>",
+        ] {
+            assert!(Mqp::from_wire(bad).is_err(), "{bad}");
+        }
+    }
+}

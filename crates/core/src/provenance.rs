@@ -1,0 +1,226 @@
+//! Provenance: the visit history an MQP carries (paper §5.1,
+//! "Maintaining provenance"), plus spoofing detection and verification
+//! queries.
+
+use std::fmt;
+
+use mqp_algebra::plan::Plan;
+use mqp_algebra::predicate::AggFunc;
+use mqp_catalog::ServerId;
+use mqp_xml::Element;
+
+/// What a server did to the MQP while holding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Resolved one or more URNs to URLs/alternatives.
+    Bound,
+    /// Substituted local data for a URL.
+    Resolved,
+    /// Reduced one or more sub-plans to constant data.
+    Evaluated,
+    /// Rewrote the plan without evaluating (pushdown, absorption, …).
+    Rewrote,
+    /// Merely forwarded the plan.
+    Forwarded,
+}
+
+impl Action {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Action::Bound => "bound",
+            Action::Resolved => "resolved",
+            Action::Evaluated => "evaluated",
+            Action::Rewrote => "rewrote",
+            Action::Forwarded => "forwarded",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Option<Action> {
+        Some(match s {
+            "bound" => Action::Bound,
+            "resolved" => Action::Resolved,
+            "evaluated" => Action::Evaluated,
+            "rewrote" => Action::Rewrote,
+            "forwarded" => Action::Forwarded,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One provenance entry: who did what, when (simulated µs), and how
+/// current their information was (§5.1: "when it did it, and how current
+/// the information was").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VisitRecord {
+    /// The server that acted.
+    pub server: ServerId,
+    /// What it did.
+    pub action: Action,
+    /// Free-form detail (which URN, which sub-plan, …).
+    pub detail: String,
+    /// Simulated timestamp (µs).
+    pub at: u64,
+    /// Staleness bound of the information used, in minutes.
+    pub staleness: u32,
+}
+
+impl VisitRecord {
+    /// Serializes to the `<visit/>` element used inside MQP envelopes.
+    pub fn to_xml(&self) -> Element {
+        Element::new("visit")
+            .attr("server", self.server.as_str())
+            .attr("action", self.action.name())
+            .attr("detail", &self.detail)
+            .attr("at", self.at.to_string())
+            .attr("staleness", self.staleness.to_string())
+    }
+
+    /// Parses a `<visit/>` element.
+    pub fn from_xml(e: &Element) -> Option<VisitRecord> {
+        Some(VisitRecord {
+            server: ServerId::new(e.get_attr("server")?),
+            action: Action::parse(e.get_attr("action")?)?,
+            detail: e.get_attr("detail").unwrap_or_default().to_owned(),
+            at: e.get_attr("at")?.parse().ok()?,
+            staleness: e.get_attr("staleness").unwrap_or("0").parse().ok()?,
+        })
+    }
+}
+
+/// Spoofing analysis (§5.1): sources present in the *original* plan that
+/// no visited server claims to have bound or resolved. "If provenance is
+/// recorded, the resulting MQP would show that P never visited T (or any
+/// other site for B)."
+///
+/// Returns the offending source names (URN strings and URL hrefs).
+pub fn unaccounted_sources(original: &Plan, visits: &[VisitRecord]) -> Vec<String> {
+    let mut sources: Vec<String> = original
+        .urns()
+        .iter()
+        .map(|u| u.urn.to_string())
+        .chain(original.urls().iter().map(|u| u.href.clone()))
+        .collect();
+    sources.sort();
+    sources.dedup();
+    sources
+        .into_iter()
+        .filter(|src| {
+            !visits.iter().any(|v| {
+                matches!(
+                    v.action,
+                    Action::Bound | Action::Resolved | Action::Evaluated
+                ) && v.detail.contains(src.as_str())
+            })
+        })
+        .collect()
+}
+
+/// Builds the verification query of §5.1: `count(sub)` displayed back to
+/// `verifier` — sent to the server suspected of having been bypassed, to
+/// check whether it really holds no qualifying items.
+pub fn verification_query(sub: Plan, verifier: impl Into<String>) -> Plan {
+    Plan::display(verifier, Plan::aggregate(AggFunc::Count, None, sub))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn visit(server: &str, action: Action, detail: &str) -> VisitRecord {
+        VisitRecord {
+            server: ServerId::new(server),
+            action,
+            detail: detail.to_owned(),
+            at: 42,
+            staleness: 0,
+        }
+    }
+
+    #[test]
+    fn visit_xml_roundtrip() {
+        let v = VisitRecord {
+            server: ServerId::new("peer-3"),
+            action: Action::Evaluated,
+            detail: "reduced select over urn:ForSale:Portland-CDs".to_owned(),
+            at: 123456,
+            staleness: 30,
+        };
+        assert_eq!(VisitRecord::from_xml(&v.to_xml()), Some(v));
+    }
+
+    #[test]
+    fn action_names_roundtrip() {
+        for a in [
+            Action::Bound,
+            Action::Resolved,
+            Action::Evaluated,
+            Action::Rewrote,
+            Action::Forwarded,
+        ] {
+            assert_eq!(Action::parse(a.name()), Some(a));
+        }
+        assert_eq!(Action::parse("teleported"), None);
+    }
+
+    #[test]
+    fn spoofed_source_detected() {
+        // Original plan unions A (at S) and B (at T). S binds A but
+        // spoofs B to empty without visiting T.
+        let original = Plan::union([
+            Plan::urn("urn:Data:A"),
+            Plan::urn("urn:Data:B"),
+        ]);
+        let visits = vec![
+            visit("S", Action::Bound, "urn:Data:A -> mqp://S/"),
+            visit("S", Action::Evaluated, "reduced urn:Data:A"),
+            visit("S", Action::Forwarded, "to client"),
+        ];
+        let missing = unaccounted_sources(&original, &visits);
+        assert_eq!(missing, vec!["urn:Data:B".to_owned()]);
+    }
+
+    #[test]
+    fn honest_processing_has_no_unaccounted_sources() {
+        let original = Plan::union([Plan::urn("urn:Data:A"), Plan::urn("urn:Data:B")]);
+        let visits = vec![
+            visit("S", Action::Bound, "urn:Data:A -> mqp://S/"),
+            visit("S", Action::Evaluated, "reduced urn:Data:A"),
+            visit("T", Action::Bound, "urn:Data:B -> mqp://T/"),
+            visit("T", Action::Evaluated, "reduced urn:Data:B"),
+        ];
+        assert!(unaccounted_sources(&original, &visits).is_empty());
+    }
+
+    #[test]
+    fn url_sources_checked_too() {
+        let original = Plan::union([Plan::url("mqp://T/"), Plan::data([])]);
+        let visits = vec![visit("S", Action::Evaluated, "reduced data leaf")];
+        assert_eq!(
+            unaccounted_sources(&original, &visits),
+            vec!["mqp://T/".to_owned()]
+        );
+    }
+
+    #[test]
+    fn verification_query_shape() {
+        let q = verification_query(
+            Plan::select("price < 10", Plan::urn("urn:Data:B")),
+            "agency:9020",
+        );
+        assert_eq!(q.target(), Some("agency:9020"));
+        match q {
+            Plan::Display { input, .. } => {
+                assert!(matches!(*input, Plan::Aggregate { func: AggFunc::Count, .. }));
+            }
+            _ => panic!("expected display"),
+        }
+    }
+}

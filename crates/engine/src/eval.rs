@@ -1,0 +1,508 @@
+//! Plan evaluation over in-memory XML collections.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mqp_algebra::plan::{Plan, UrlRef, UrnRef};
+use mqp_algebra::predicate::AggFunc;
+use mqp_xml::xpath::Path;
+use mqp_xml::{Element, Node};
+
+/// Supplies data for `Url`/`Urn` leaves during evaluation. The peer
+/// layer implements this against its local store; a URL is resolvable
+/// when it points at this peer (or the policy allows fetching), a URN
+/// when the local catalog maps it to local data.
+pub trait Resolver {
+    /// Items behind a URL leaf, or `None` if not locally resolvable.
+    fn resolve_url(&self, url: &UrlRef) -> Option<Vec<Element>>;
+
+    /// Items behind a URN leaf, or `None` if not locally resolvable.
+    fn resolve_urn(&self, urn: &UrnRef) -> Option<Vec<Element>>;
+}
+
+/// A resolver that resolves nothing: evaluation succeeds only on plans
+/// whose leaves are all verbatim data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoResolver;
+
+impl Resolver for NoResolver {
+    fn resolve_url(&self, _url: &UrlRef) -> Option<Vec<Element>> {
+        None
+    }
+
+    fn resolve_urn(&self, _urn: &UrnRef) -> Option<Vec<Element>> {
+        None
+    }
+}
+
+/// Evaluation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A URL leaf the resolver could not supply.
+    UnresolvedUrl(String),
+    /// A URN leaf the resolver could not supply.
+    UnresolvedUrn(String),
+    /// An `Or` with no alternatives (forbidden by the codec, but plans
+    /// can be built programmatically).
+    EmptyOr,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnresolvedUrl(u) => write!(f, "unresolved URL {u}"),
+            EvalError::UnresolvedUrn(u) => write!(f, "unresolved URN {u}"),
+            EvalError::EmptyOr => write!(f, "empty or-node"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates `plan` to a collection of items.
+///
+/// * `Or` evaluates its **first** alternative (the conjoint-union
+///   semantics of §4.2 say any single alternative suffices; picking
+///   among them is the policy manager's job *before* evaluation —
+///   by the time a plan reaches the engine the choice is positional).
+/// * `Display` is transparent: it evaluates its input (shipping the
+///   result to the target is the peer layer's job).
+pub fn eval(plan: &Plan, resolver: &impl Resolver) -> Result<Vec<Element>, EvalError> {
+    match plan {
+        Plan::Data { items, .. } => Ok(items.clone()),
+        Plan::Url(u) => resolver
+            .resolve_url(u)
+            .ok_or_else(|| EvalError::UnresolvedUrl(u.href.clone())),
+        Plan::Urn(u) => resolver
+            .resolve_urn(u)
+            .ok_or_else(|| EvalError::UnresolvedUrn(u.urn.to_string())),
+        Plan::Select { pred, input } => {
+            let items = eval(input, resolver)?;
+            Ok(items.into_iter().filter(|i| pred.eval(i)).collect())
+        }
+        Plan::Project { fields, input } => {
+            let items = eval(input, resolver)?;
+            Ok(items.iter().map(|i| project_item(i, fields)).collect())
+        }
+        Plan::Join { on, left, right } => {
+            let l = eval(left, resolver)?;
+            let r = eval(right, resolver)?;
+            Ok(hash_join(&l, &r, &on.left_path, &on.right_path))
+        }
+        Plan::Union(inputs) => {
+            let mut out = Vec::new();
+            for i in inputs {
+                out.extend(eval(i, resolver)?);
+            }
+            Ok(out)
+        }
+        Plan::Or(alts) => {
+            let first = alts.first().ok_or(EvalError::EmptyOr)?;
+            eval(&first.plan, resolver)
+        }
+        Plan::Aggregate { func, path, input } => {
+            let items = eval(input, resolver)?;
+            Ok(vec![aggregate(*func, path.as_ref(), &items)])
+        }
+        Plan::TopN {
+            n,
+            key,
+            ascending,
+            input,
+        } => {
+            let items = eval(input, resolver)?;
+            Ok(top_n(items, *n, key, *ascending))
+        }
+        Plan::Display { input, .. } => eval(input, resolver),
+    }
+}
+
+/// Evaluates a plan that must not need any resolution (all leaves are
+/// verbatim data). Convenience for tests and for reducing sub-plans that
+/// have already been fully bound.
+pub fn eval_const(plan: &Plan) -> Result<Vec<Element>, EvalError> {
+    eval(plan, &NoResolver)
+}
+
+/// Projection: keeps the item's name and attributes, and only the direct
+/// child elements whose names are listed.
+fn project_item(item: &Element, fields: &[String]) -> Element {
+    let mut out = Element::new(item.name());
+    for (k, v) in item.attrs() {
+        out.set_attr(k.clone(), v.clone());
+    }
+    for c in item.child_elements() {
+        if fields.iter().any(|f| f == c.name()) {
+            out.push_child(Node::Element(c.clone()));
+        }
+    }
+    out
+}
+
+/// Join-key normalization: numeric values compare numerically
+/// (`"1.0"` joins `"1"`), everything else exactly (after trim).
+fn join_key(v: &str) -> String {
+    let t = v.trim();
+    match t.parse::<f64>() {
+        Ok(n) => format!("#num:{n}"),
+        Err(_) => format!("#str:{t}"),
+    }
+}
+
+/// Hash equi-join. Output items are `<tuple>` elements containing the
+/// matched left and right items, in that order. An item with several
+/// values under the key path matches on any of them (existential, like
+/// predicates), but each (left, right) pair appears at most once.
+fn hash_join(
+    left: &[Element],
+    right: &[Element],
+    left_path: &Path,
+    right_path: &Path,
+) -> Vec<Element> {
+    // Build on the smaller side.
+    let (build, probe, build_path, probe_path, build_is_left) =
+        if left.len() <= right.len() {
+            (left, right, left_path, right_path, true)
+        } else {
+            (right, left, right_path, left_path, false)
+        };
+    let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, item) in build.iter().enumerate() {
+        let mut seen = Vec::new();
+        for v in build_path.select_values(item) {
+            let k = join_key(&v);
+            if !seen.contains(&k) {
+                table.entry(k.clone()).or_default().push(i);
+                seen.push(k);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for probe_item in probe {
+        let mut matched: Vec<usize> = Vec::new();
+        for v in probe_path.select_values(probe_item) {
+            if let Some(idxs) = table.get(&join_key(&v)) {
+                for &i in idxs {
+                    if !matched.contains(&i) {
+                        matched.push(i);
+                    }
+                }
+            }
+        }
+        matched.sort_unstable();
+        for i in matched {
+            let (l, r) = if build_is_left {
+                (&build[i], probe_item)
+            } else {
+                (probe_item, &build[i])
+            };
+            out.push(
+                Element::new("tuple")
+                    .child(Node::Element(l.clone()))
+                    .child(Node::Element(r.clone())),
+            );
+        }
+    }
+    out
+}
+
+/// Aggregation to a single result item, named after the function, e.g.
+/// `<count>3</count>` or `<sum>42.5</sum>`. Non-numeric values are
+/// skipped by numeric aggregates; an empty input yields `<count>0</count>`
+/// or an empty-texted element for the others.
+fn aggregate(func: AggFunc, path: Option<&Path>, items: &[Element]) -> Element {
+    let numbers = || -> Vec<f64> {
+        items
+            .iter()
+            .flat_map(|i| match path {
+                Some(p) => p.select_values(i),
+                None => vec![i.deep_text()],
+            })
+            .filter_map(|v| v.trim().parse::<f64>().ok())
+            .collect()
+    };
+    let text = match func {
+        AggFunc::Count => items.len().to_string(),
+        AggFunc::Sum => format_num(numbers().iter().sum()),
+        AggFunc::Min => numbers()
+            .into_iter()
+            .fold(None::<f64>, |m, v| Some(m.map_or(v, |m| m.min(v))))
+            .map(format_num)
+            .unwrap_or_default(),
+        AggFunc::Max => numbers()
+            .into_iter()
+            .fold(None::<f64>, |m, v| Some(m.map_or(v, |m| m.max(v))))
+            .map(format_num)
+            .unwrap_or_default(),
+        AggFunc::Avg => {
+            let ns = numbers();
+            if ns.is_empty() {
+                String::new()
+            } else {
+                format_num(ns.iter().sum::<f64>() / ns.len() as f64)
+            }
+        }
+    };
+    Element::new(func.name()).text(text)
+}
+
+fn format_num(n: f64) -> String {
+    // Integral results print without the trailing ".0" so counts and
+    // sums look like the paper's examples.
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Top-n by key value. Numeric keys sort numerically; items missing the
+/// key sort last. Ties break by original position (stable).
+fn top_n(mut items: Vec<Element>, n: usize, key: &Path, ascending: bool) -> Vec<Element> {
+    #[derive(PartialEq, PartialOrd)]
+    enum K {
+        Num(f64),
+        Str(String),
+        Missing,
+    }
+    let key_of = |e: &Element| -> K {
+        match key.first_value(e) {
+            Some(v) => match v.parse::<f64>() {
+                Ok(n) => K::Num(n),
+                Err(_) => K::Str(v),
+            },
+            None => K::Missing,
+        }
+    };
+    let mut keyed: Vec<(K, usize, Element)> = items
+        .drain(..)
+        .enumerate()
+        .map(|(i, e)| (key_of(&e), i, e))
+        .collect();
+    keyed.sort_by(|a, b| {
+        let ord = match (&a.0, &b.0) {
+            (K::Num(x), K::Num(y)) => x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal),
+            (K::Str(x), K::Str(y)) => x.cmp(y),
+            (K::Num(_), K::Str(_)) => std::cmp::Ordering::Less,
+            (K::Str(_), K::Num(_)) => std::cmp::Ordering::Greater,
+            (K::Missing, K::Missing) => std::cmp::Ordering::Equal,
+            (K::Missing, _) => std::cmp::Ordering::Greater,
+            (_, K::Missing) => std::cmp::Ordering::Less,
+        };
+        let ord = if ascending { ord } else { ord.reverse() };
+        ord.then(a.1.cmp(&b.1))
+    });
+    keyed.into_iter().take(n).map(|(_, _, e)| e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqp_algebra::plan::JoinCond;
+    use mqp_xml::parse;
+
+    fn items(xmls: &[&str]) -> Vec<Element> {
+        xmls.iter().map(|s| parse(s).unwrap()).collect()
+    }
+
+    fn cds() -> Vec<Element> {
+        items(&[
+            "<item><title>Physical Graffiti</title><price>12</price></item>",
+            "<item><title>Houses of the Holy</title><price>8</price></item>",
+            "<item><title>Kashmir Live</title><price>9.5</price></item>",
+        ])
+    }
+
+    #[test]
+    fn select_filters() {
+        let p = Plan::select("price < 10", Plan::data(cds()));
+        let out = eval_const(&p).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|i| i.field_f64("price").unwrap() < 10.0));
+    }
+
+    #[test]
+    fn project_keeps_listed_fields() {
+        let p = Plan::project(["title"], Plan::data(cds()));
+        let out = eval_const(&p).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out[0].first("title").is_some());
+        assert!(out[0].first("price").is_none());
+        assert_eq!(out[0].name(), "item");
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let p = Plan::union([Plan::data(cds()), Plan::data(cds())]);
+        assert_eq!(eval_const(&p).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let songs = items(&[
+            "<song><title>Kashmir</title><album>Physical Graffiti</album></song>",
+        ]);
+        let p = Plan::join(
+            JoinCond::on("song/album", "item/title"),
+            Plan::data(songs),
+            Plan::data(cds()),
+        );
+        // Neither side's items are named song/item at the top — paths are
+        // relative to the item element, whose own name is song/item. A
+        // relative path starts at the item's children, so use the field
+        // names directly instead.
+        let out = eval_const(&p).unwrap();
+        // 'song/album' relative to a <song> element looks for a child
+        // <song> — no match. Expect empty here; the correct paths are
+        // tested below.
+        assert!(out.is_empty());
+
+        let p2 = Plan::join(
+            JoinCond::on("album", "title"),
+            Plan::data(items(&[
+                "<song><title>Kashmir</title><album>Physical Graffiti</album></song>",
+            ])),
+            Plan::data(cds()),
+        );
+        let out2 = eval_const(&p2).unwrap();
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].name(), "tuple");
+        let kids: Vec<&Element> = out2[0].child_elements().collect();
+        assert_eq!(kids[0].name(), "song");
+        assert_eq!(kids[1].name(), "item");
+    }
+
+    #[test]
+    fn join_numeric_key_normalization() {
+        let l = items(&["<a><k>1.0</k></a>"]);
+        let r = items(&["<b><k>1</k></b>", "<b><k>01</k></b>"]);
+        let p = Plan::join(JoinCond::on("k", "k"), Plan::data(l), Plan::data(r));
+        assert_eq!(eval_const(&p).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn join_left_right_order_independent_of_build_side() {
+        // Force build on the right (smaller) and verify tuple order is
+        // still (left, right).
+        let l = items(&["<l><k>x</k></l>", "<l><k>x</k></l>"]);
+        let r = items(&["<r><k>x</k></r>"]);
+        let p = Plan::join(JoinCond::on("k", "k"), Plan::data(l), Plan::data(r));
+        let out = eval_const(&p).unwrap();
+        assert_eq!(out.len(), 2);
+        for t in &out {
+            let kids: Vec<&Element> = t.child_elements().collect();
+            assert_eq!(kids[0].name(), "l");
+            assert_eq!(kids[1].name(), "r");
+        }
+    }
+
+    #[test]
+    fn join_duplicate_key_values_pair_once() {
+        let l = items(&["<l><k>x</k><k>x</k></l>"]);
+        let r = items(&["<r><k>x</k></r>"]);
+        let p = Plan::join(JoinCond::on("k", "k"), Plan::data(l), Plan::data(r));
+        assert_eq!(eval_const(&p).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn aggregates() {
+        let d = Plan::data(cds());
+        let count = eval_const(&Plan::aggregate(AggFunc::Count, None, d.clone())).unwrap();
+        assert_eq!(count[0].name(), "count");
+        assert_eq!(count[0].deep_text(), "3");
+        let sum =
+            eval_const(&Plan::aggregate(AggFunc::Sum, Some("price"), d.clone())).unwrap();
+        assert_eq!(sum[0].deep_text(), "29.5");
+        let min =
+            eval_const(&Plan::aggregate(AggFunc::Min, Some("price"), d.clone())).unwrap();
+        assert_eq!(min[0].deep_text(), "8");
+        let max =
+            eval_const(&Plan::aggregate(AggFunc::Max, Some("price"), d.clone())).unwrap();
+        assert_eq!(max[0].deep_text(), "12");
+        let avg = eval_const(&Plan::aggregate(AggFunc::Avg, Some("price"), d)).unwrap();
+        let v: f64 = avg[0].deep_text().parse().unwrap();
+        assert!((v - 29.5 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_empty_input() {
+        let count =
+            eval_const(&Plan::aggregate(AggFunc::Count, None, Plan::data([]))).unwrap();
+        assert_eq!(count[0].deep_text(), "0");
+        let min =
+            eval_const(&Plan::aggregate(AggFunc::Min, Some("x"), Plan::data([]))).unwrap();
+        assert_eq!(min[0].deep_text(), "");
+    }
+
+    #[test]
+    fn top_n_ascending_and_descending() {
+        let cheap2 = eval_const(&Plan::top_n(2, "price", true, Plan::data(cds()))).unwrap();
+        assert_eq!(cheap2.len(), 2);
+        assert_eq!(cheap2[0].field_f64("price"), Some(8.0));
+        assert_eq!(cheap2[1].field_f64("price"), Some(9.5));
+        let dear1 = eval_const(&Plan::top_n(1, "price", false, Plan::data(cds()))).unwrap();
+        assert_eq!(dear1[0].field_f64("price"), Some(12.0));
+    }
+
+    #[test]
+    fn top_n_missing_keys_sort_last() {
+        let mixed = items(&["<i><p>5</p></i>", "<i/>", "<i><p>1</p></i>"]);
+        let out = eval_const(&Plan::top_n(3, "p", true, Plan::data(mixed))).unwrap();
+        assert_eq!(out[0].field_f64("p"), Some(1.0));
+        assert_eq!(out[1].field_f64("p"), Some(5.0));
+        assert!(out[2].first("p").is_none());
+    }
+
+    #[test]
+    fn or_evaluates_first_alternative() {
+        let p = Plan::or([Plan::data(cds()), Plan::url("http://unreachable/")]);
+        assert_eq!(eval_const(&p).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn display_is_transparent() {
+        let p = Plan::display("c:1", Plan::data(cds()));
+        assert_eq!(eval_const(&p).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unresolved_leaves_error() {
+        assert!(matches!(
+            eval_const(&Plan::url("http://x/")),
+            Err(EvalError::UnresolvedUrl(_))
+        ));
+        assert!(matches!(
+            eval_const(&Plan::urn("urn:ForSale:Portland-CDs")),
+            Err(EvalError::UnresolvedUrn(_))
+        ));
+    }
+
+    #[test]
+    fn resolver_supplies_urls() {
+        struct Fixed(Vec<Element>);
+        impl Resolver for Fixed {
+            fn resolve_url(&self, _u: &UrlRef) -> Option<Vec<Element>> {
+                Some(self.0.clone())
+            }
+            fn resolve_urn(&self, _u: &UrnRef) -> Option<Vec<Element>> {
+                None
+            }
+        }
+        let p = Plan::select("price < 10", Plan::url("http://seller/"));
+        let out = eval(&p, &Fixed(cds())).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn figure4b_reduction_semantics() {
+        // Figure 4(b): the seller substitutes its CD data for its URL and
+        // evaluates the select locally.
+        let seller_data = cds();
+        let plan = Plan::select("price < 10", Plan::data(seller_data));
+        let reduced = eval_const(&plan).unwrap();
+        assert_eq!(reduced.len(), 2);
+        // The reduced result becomes a constant data leaf.
+        let constant = Plan::data(reduced);
+        assert!(constant.is_fully_evaluated());
+    }
+}

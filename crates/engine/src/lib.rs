@@ -1,0 +1,19 @@
+//! # mqp-engine — local evaluation of mutant-query sub-plans
+//!
+//! The paper's prototype used the Niagara XML engine; this crate is the
+//! substitute: an in-memory evaluator for the `mqp-algebra` operators
+//! over collections of XML items, plus the cardinality/byte cost model
+//! the Figure-2 *optimizer* and *policy manager* consult before deciding
+//! which locally-evaluable sub-plans to reduce.
+//!
+//! * [`eval()`](eval::eval) — evaluates a plan to a collection of items, resolving
+//!   `Url`/`Urn` leaves through a caller-supplied [`Resolver`] (the peer
+//!   layer backs this with its local store and catalog).
+//! * [`cost`] — size estimation: annotated statistics when present
+//!   (paper §5.1), System-R-style defaults otherwise.
+
+pub mod cost;
+pub mod eval;
+
+pub use cost::{estimate, Estimate};
+pub use eval::{eval, eval_const, EvalError, NoResolver, Resolver};

@@ -1,0 +1,29 @@
+//! # mqp-net — the network substrate
+//!
+//! The paper's prototype ran on a real wide-area testbed that we do not
+//! have; every claim it makes about routing is about *message counts,
+//! bytes shipped, hops, and latency* — quantities a deterministic
+//! simulator measures exactly. This crate provides:
+//!
+//! * [`SimNet`] — a discrete-event network simulator, generic over the
+//!   payload type. Latency comes from a [`Topology`] (uniform or
+//!   clustered — wide-area links between clusters, LAN links within);
+//!   transfer time is `bytes / bandwidth`; all accounting (messages,
+//!   bytes, hops, drops) is collected in [`NetStats`]. Same seed and
+//!   same send sequence ⇒ identical event trace (property-tested).
+//! * Failure injection: [`SimNet::fail`] / [`SimNet::recover`] — sends
+//!   to a down node are counted and dropped, which is how the
+//!   availability experiments exercise the "R may be unavailable"
+//!   scenario of §4.2 Example 3.
+//! * [`threaded`] — a small crossbeam-channel transport used by the
+//!   live (non-simulated) examples, so the same peer code can run on
+//!   real OS threads.
+
+pub mod sim;
+pub mod stats;
+pub mod threaded;
+pub mod topology;
+
+pub use sim::{Delivery, NodeId, SimNet};
+pub use stats::NetStats;
+pub use topology::Topology;

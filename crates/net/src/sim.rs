@@ -1,0 +1,278 @@
+//! The discrete-event simulator core.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::stats::NetStats;
+use crate::topology::Topology;
+
+pub use crate::topology::NodeId;
+
+/// A message delivered by [`SimNet::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<P> {
+    /// Simulated delivery time in microseconds.
+    pub at: u64,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload size charged to the network.
+    pub bytes: usize,
+    /// The payload.
+    pub payload: P,
+}
+
+/// Heap entry; ordered by (time, sequence) so ties break in send order —
+/// the property that makes runs reproducible.
+struct Event<P> {
+    at: u64,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    bytes: usize,
+    payload: P,
+}
+
+impl<P> PartialEq for Event<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for Event<P> {}
+impl<P> PartialOrd for Event<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Event<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event network over a [`Topology`].
+///
+/// Drive it caller-side:
+///
+/// ```
+/// use mqp_net::{SimNet, Topology};
+///
+/// let mut net: SimNet<&'static str> = SimNet::new(Topology::uniform(3, 1_000));
+/// net.send(0, 1, 64, "hello");
+/// while let Some(d) = net.step() {
+///     if d.payload == "hello" {
+///         net.send(d.to, 2, 64, "onward");
+///     }
+/// }
+/// assert_eq!(net.stats().messages_delivered, 2);
+/// assert_eq!(net.now(), 2_000);
+/// ```
+pub struct SimNet<P> {
+    topology: Topology,
+    queue: BinaryHeap<Reverse<Event<P>>>,
+    now: u64,
+    seq: u64,
+    down: HashSet<NodeId>,
+    stats: NetStats,
+}
+
+impl<P> SimNet<P> {
+    /// A fresh network at time 0.
+    pub fn new(topology: Topology) -> Self {
+        let stats = NetStats::new(topology.len());
+        SimNet {
+            topology,
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            down: HashSet::new(),
+            stats,
+        }
+    }
+
+    /// The simulated clock (µs): time of the last delivery (or 0).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// True if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.topology.is_empty()
+    }
+
+    /// Sends a message; it will be delivered after the topology's
+    /// transit time, unless the destination is down at delivery time.
+    pub fn send(&mut self, from: NodeId, to: NodeId, bytes: usize, payload: P) {
+        let at = self.now + self.topology.transit_time(from, to, bytes);
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        self.stats.per_node[from].0 += 1;
+        self.queue.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            from,
+            to,
+            bytes,
+            payload,
+        }));
+        self.seq += 1;
+    }
+
+    /// Delivers the next message, advancing the clock. Messages to down
+    /// nodes are dropped (counted) and the next live delivery is
+    /// returned. `None` when the queue is empty.
+    pub fn step(&mut self) -> Option<Delivery<P>> {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            self.now = self.now.max(ev.at);
+            if self.down.contains(&ev.to) {
+                self.stats.messages_dropped += 1;
+                continue;
+            }
+            self.stats.messages_delivered += 1;
+            self.stats.bytes_delivered += ev.bytes as u64;
+            self.stats.per_node[ev.to].1 += 1;
+            return Some(Delivery {
+                at: ev.at,
+                from: ev.from,
+                to: ev.to,
+                bytes: ev.bytes,
+                payload: ev.payload,
+            });
+        }
+        None
+    }
+
+    /// Runs the network dry, discarding deliveries. Returns how many
+    /// were delivered.
+    pub fn drain(&mut self) -> usize {
+        let mut n = 0;
+        while self.step().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Marks a node down: deliveries to it are dropped until
+    /// [`SimNet::recover`].
+    pub fn fail(&mut self, node: NodeId) {
+        self.down.insert(node);
+    }
+
+    /// Brings a node back.
+    pub fn recover(&mut self, node: NodeId) {
+        self.down.remove(&node);
+    }
+
+    /// True if the node is currently down.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down.contains(&node)
+    }
+
+    /// Number of messages waiting in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize, lat: u64) -> SimNet<u32> {
+        SimNet::new(Topology::uniform(n, lat))
+    }
+
+    #[test]
+    fn delivery_order_by_time_then_seq() {
+        let mut s = SimNet::new(Topology::clustered(4, 2, 10, 1000));
+        s.send(0, 1, 0, 1); // inter: at 1000
+        s.send(0, 2, 0, 2); // intra: at 10
+        s.send(0, 2, 0, 3); // intra: at 10, later seq
+        let d1 = s.step().unwrap();
+        let d2 = s.step().unwrap();
+        let d3 = s.step().unwrap();
+        assert_eq!((d1.payload, d1.at), (2, 10));
+        assert_eq!((d2.payload, d2.at), (3, 10));
+        assert_eq!((d3.payload, d3.at), (1, 1000));
+        assert_eq!(s.now(), 1000);
+    }
+
+    #[test]
+    fn clock_advances_with_chained_sends() {
+        let mut s = net(3, 100);
+        s.send(0, 1, 0, 0);
+        let d = s.step().unwrap();
+        assert_eq!(d.at, 100);
+        s.send(d.to, 2, 0, 1);
+        let d2 = s.step().unwrap();
+        assert_eq!(d2.at, 200);
+    }
+
+    #[test]
+    fn failed_node_drops() {
+        let mut s = net(2, 10);
+        s.fail(1);
+        s.send(0, 1, 5, 7);
+        assert!(s.step().is_none());
+        assert_eq!(s.stats().messages_dropped, 1);
+        assert_eq!(s.stats().messages_delivered, 0);
+        s.recover(1);
+        s.send(0, 1, 5, 8);
+        assert_eq!(s.step().unwrap().payload, 8);
+    }
+
+    #[test]
+    fn stats_account_bytes_and_per_node() {
+        let mut s = net(3, 10);
+        s.send(0, 1, 100, 0);
+        s.send(1, 2, 50, 1);
+        s.drain();
+        let st = s.stats();
+        assert_eq!(st.messages_sent, 2);
+        assert_eq!(st.bytes_sent, 150);
+        assert_eq!(st.bytes_delivered, 150);
+        assert_eq!(st.per_node[0], (1, 0));
+        assert_eq!(st.per_node[1], (1, 1));
+        assert_eq!(st.per_node[2], (0, 1));
+    }
+
+    #[test]
+    fn determinism_same_sends_same_trace() {
+        let run = || {
+            let mut s = SimNet::new(Topology::clustered(10, 3, 5, 500).with_bandwidth(1.0));
+            for i in 0..10usize {
+                s.send(i, (i * 7 + 3) % 10, i * 13, i as u32);
+            }
+            let mut trace = Vec::new();
+            while let Some(d) = s.step() {
+                trace.push((d.at, d.from, d.to, d.payload));
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn self_send_is_instant() {
+        let mut s = net(2, 1000);
+        s.send(0, 0, 10, 9);
+        let d = s.step().unwrap();
+        assert_eq!(d.at, 0);
+    }
+}

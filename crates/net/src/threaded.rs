@@ -1,0 +1,134 @@
+//! A small in-process transport over crossbeam channels, for running
+//! peers on real OS threads (the live examples). Same shape as the
+//! simulator's API — `send(from, to, bytes, payload)` / blocking
+//! receive — so peer logic is transport-agnostic.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::time::Duration;
+
+use crate::topology::NodeId;
+
+/// A message received from the threaded transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<P> {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload size (accounting only; no artificial delay is applied).
+    pub bytes: usize,
+    /// The payload.
+    pub payload: P,
+}
+
+/// One node's endpoint: can send to any node and receive its own mail.
+pub struct Endpoint<P> {
+    id: NodeId,
+    senders: Vec<Sender<Envelope<P>>>,
+    inbox: Receiver<Envelope<P>>,
+}
+
+impl<P> Endpoint<P> {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the transport.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True if the transport has no nodes (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Sends a payload to `to`. Returns `false` if the destination's
+    /// endpoint has been dropped (node "down").
+    pub fn send(&self, to: NodeId, bytes: usize, payload: P) -> bool {
+        self.senders[to]
+            .send(Envelope {
+                from: self.id,
+                to,
+                bytes,
+                payload,
+            })
+            .is_ok()
+    }
+
+    /// Blocking receive with timeout. `None` on timeout or when all
+    /// senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<P>> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<P>> {
+        self.inbox.try_recv().ok()
+    }
+}
+
+/// Creates a fully connected in-process transport with `n` endpoints.
+pub fn mesh<P>(n: usize) -> Vec<Endpoint<P>> {
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(id, inbox)| Endpoint {
+            id,
+            senders: senders.clone(),
+            inbox,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn mesh_roundtrip_across_threads() {
+        let mut eps = mesh::<String>(3);
+        let c = eps.remove(2);
+        let b = eps.remove(1);
+        let a = eps.remove(0);
+        let h1 = thread::spawn(move || {
+            // B relays whatever it gets to C.
+            let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            b.send(2, env.bytes, format!("{} via b", env.payload));
+        });
+        let h2 = thread::spawn(move || {
+            let env = c.recv_timeout(Duration::from_secs(5)).unwrap();
+            (env.from, env.payload)
+        });
+        assert!(a.send(1, 5, "hello".to_owned()));
+        h1.join().unwrap();
+        let (from, payload) = h2.join().unwrap();
+        assert_eq!(from, 1);
+        assert_eq!(payload, "hello via b");
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let eps = mesh::<u32>(1);
+        assert!(eps[0].try_recv().is_none());
+        assert!(eps[0].send(0, 0, 42));
+        assert_eq!(eps[0].try_recv().unwrap().payload, 42);
+    }
+
+    #[test]
+    fn send_to_dropped_endpoint_fails() {
+        let mut eps = mesh::<u32>(2);
+        let a = eps.remove(0);
+        drop(eps); // drop endpoint 1 (its receiver)
+        assert!(!a.send(1, 0, 1));
+    }
+}

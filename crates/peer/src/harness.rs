@@ -1,0 +1,560 @@
+//! The simulation harness: a population of peers over `mqp-net`,
+//! exchanging serialized MQP envelopes. Every experiment (EXPERIMENTS.md)
+//! runs through this.
+
+use std::collections::HashMap;
+
+use mqp_catalog::{CatalogEntry, ServerId};
+use mqp_core::{Mqp, Outcome};
+use mqp_namespace::InterestArea;
+use mqp_net::{NodeId, SimNet, Topology};
+use mqp_xml::Element;
+
+use crate::peer::Peer;
+
+/// Messages between peers.
+#[derive(Debug, Clone)]
+pub enum PeerMsg {
+    /// A serialized MQP envelope in flight.
+    Mqp(String),
+    /// A completed result returning to the query's client.
+    Result {
+        /// Query id.
+        qid: u64,
+        /// Serialized result items.
+        items: String,
+    },
+    /// Catalog registration (a base/index server announcing itself,
+    /// §3.2/§3.3).
+    Register(CatalogEntry),
+}
+
+impl PeerMsg {
+    /// Bytes charged to the network for this message.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            PeerMsg::Mqp(s) => s.len(),
+            PeerMsg::Result { items, .. } => items.len() + 32,
+            PeerMsg::Register(e) => {
+                // Server id + encoded area + level/flags.
+                e.server.as_str().len() + mqp_namespace::urn::encode_area(&e.area).len() + 16
+            }
+        }
+    }
+}
+
+/// Per-query accounting.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Node that submitted the query.
+    pub client: NodeId,
+    /// Simulated submission time (µs).
+    pub submitted_at: u64,
+    /// MQP hops so far (server-to-server forwards, including the final
+    /// result delivery).
+    pub hops: u64,
+    /// Total MQP bytes shipped.
+    pub mqp_bytes: u64,
+    /// The interest area of the query's first interest-area URN, if
+    /// any (used for cache learning).
+    pub area: Option<InterestArea>,
+    /// The index/meta server that bound the query's URN — what §3.4's
+    /// route caches remember (filled at completion from provenance).
+    pub bound_by: Option<ServerId>,
+}
+
+/// Final outcome of one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Query id (from [`SimHarness::submit`]).
+    pub qid: u64,
+    /// Result items (empty when stuck).
+    pub items: Vec<Element>,
+    /// `None` on success; the reason when the query got stuck.
+    pub failure: Option<String>,
+    /// Completion time minus submission time (µs).
+    pub latency_us: u64,
+    /// MQP hops.
+    pub hops: u64,
+    /// Total MQP bytes shipped for this query.
+    pub mqp_bytes: u64,
+}
+
+/// A population of peers on a simulated network.
+pub struct SimHarness {
+    /// The network (exposed for failure injection and stats).
+    pub net: SimNet<PeerMsg>,
+    peers: Vec<Peer>,
+    index_of: HashMap<ServerId, NodeId>,
+    pending: HashMap<u64, QueryStats>,
+    completed: Vec<QueryOutcome>,
+    next_qid: u64,
+    /// When true, a completed query teaches the client's route cache
+    /// which server finished it (§3.4 caching).
+    pub cache_learning: bool,
+}
+
+impl SimHarness {
+    /// Builds a harness; peer `i` sits at network node `i`.
+    pub fn new(topology: Topology, peers: Vec<Peer>) -> Self {
+        assert_eq!(
+            topology.len(),
+            peers.len(),
+            "topology size must match peer count"
+        );
+        let index_of = peers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.id().clone(), i))
+            .collect();
+        SimHarness {
+            net: SimNet::new(topology),
+            peers,
+            index_of,
+            pending: HashMap::new(),
+            completed: Vec::new(),
+            next_qid: 0,
+            cache_learning: false,
+        }
+    }
+
+    /// Node id of a peer.
+    pub fn node_of(&self, id: &ServerId) -> Option<NodeId> {
+        self.index_of.get(id).copied()
+    }
+
+    /// Peer by node id.
+    pub fn peer(&self, node: NodeId) -> &Peer {
+        &self.peers[node]
+    }
+
+    /// Mutable peer by node id.
+    pub fn peer_mut(&mut self, node: NodeId) -> &mut Peer {
+        &mut self.peers[node]
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when the harness has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Sends a registration message (counted as network traffic); the
+    /// receiving peer adds the entry to its catalog on delivery.
+    pub fn send_registration(&mut self, from: NodeId, to: NodeId, entry: CatalogEntry) {
+        let msg = PeerMsg::Register(entry);
+        let bytes = msg.wire_bytes();
+        self.net.send(from, to, bytes, msg);
+    }
+
+    /// §3.3's complementary *pull* process: `index` asks every peer in
+    /// `from` for its base entry; each reply is a registration message
+    /// (all traffic counted). Returns how many entries were pulled.
+    pub fn pull_registrations(&mut self, index: NodeId, from: &[NodeId]) -> usize {
+        let mut pulled = 0;
+        for &node in from {
+            let entry = self.peers[node].base_entry();
+            if entry.area.is_empty() {
+                continue;
+            }
+            // The probe doubles as an introduction: the index server
+            // announces it indexes the base server's area (so the base
+            // peer learns a route), and the base server replies with
+            // its entry.
+            let intro = CatalogEntry::index(
+                self.peers[index].id().clone(),
+                entry.area.clone(),
+            );
+            self.send_registration(index, node, intro);
+            self.send_registration(node, index, entry);
+            pulled += 1;
+        }
+        pulled
+    }
+
+    /// Submits a query plan at `client`. If the plan is not already
+    /// wrapped in `Display`, it is wrapped with a target addressing the
+    /// client. Returns the query id.
+    pub fn submit(&mut self, client: NodeId, plan: mqp_algebra::plan::Plan) -> u64 {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        let target = format!("{}#{}", self.peers[client].id(), qid);
+        let plan = match plan {
+            mqp_algebra::plan::Plan::Display { input, .. } => {
+                mqp_algebra::plan::Plan::display(target, *input)
+            }
+            other => mqp_algebra::plan::Plan::display(target, other),
+        };
+        // Track the query's interest area for cache learning.
+        let area = plan.urns().iter().find_map(|u| u.urn.as_area().cloned());
+        let mqp = Mqp::new(plan);
+        let wire = mqp.to_wire();
+        let bytes = wire.len();
+        self.pending.insert(
+            qid,
+            QueryStats {
+                client,
+                submitted_at: self.net.now(),
+                hops: 0,
+                mqp_bytes: bytes as u64,
+                area,
+                bound_by: None,
+            },
+        );
+        // Self-delivery starts processing at the client peer itself.
+        self.net.send(client, client, bytes, PeerMsg::Mqp(wire));
+        qid
+    }
+
+    /// Runs the network until quiescent (or `max_deliveries`). Returns
+    /// the number of deliveries handled.
+    pub fn run(&mut self, max_deliveries: usize) -> usize {
+        let mut handled = 0;
+        while handled < max_deliveries {
+            let Some(delivery) = self.net.step() else {
+                break;
+            };
+            handled += 1;
+            let at = delivery.at;
+            match delivery.payload {
+                PeerMsg::Register(entry) => {
+                    self.peers[delivery.to].catalog_mut().register(entry);
+                }
+                PeerMsg::Result { qid, items } => {
+                    self.finish_result(qid, &items, at);
+                }
+                PeerMsg::Mqp(wire) => {
+                    self.handle_mqp(delivery.to, &wire, at);
+                }
+            }
+        }
+        handled
+    }
+
+    fn handle_mqp(&mut self, node: NodeId, wire: &str, at: u64) {
+        let mut mqp = match Mqp::from_wire(wire) {
+            Ok(m) => m,
+            Err(e) => {
+                // A malformed envelope is a protocol bug; surface loudly.
+                panic!("malformed MQP envelope delivered to node {node}: {e}");
+            }
+        };
+        let qid = mqp
+            .plan
+            .target()
+            .and_then(|t| t.rsplit_once('#'))
+            .and_then(|(_, q)| q.parse::<u64>().ok());
+        let peer = &self.peers[node];
+        peer.set_clock(at);
+        let outcome = peer.process(&mut mqp);
+        match outcome {
+            Outcome::Complete { target, items } => {
+                // §3.4 cache learning: remember the server that *bound*
+                // the URN (an index/meta server that knows the area),
+                // not whoever happened to finish the reduction.
+                let binder = mqp
+                    .provenance
+                    .iter()
+                    .find(|v| v.action == mqp_core::Action::Bound)
+                    .map(|v| v.server.clone());
+                if let Some(qid) = qid {
+                    if let Some(stats) = self.pending.get_mut(&qid) {
+                        stats.bound_by = binder;
+                    }
+                }
+                let (client_node, _) = match target.as_deref().and_then(|t| t.rsplit_once('#')) {
+                    Some((client, _)) => {
+                        let cid = ServerId::new(client);
+                        (self.index_of.get(&cid).copied(), ())
+                    }
+                    None => (None, ()),
+                };
+                let items_xml: String =
+                    items.iter().map(mqp_xml::serialize).collect::<String>();
+                match (client_node, qid) {
+                    (Some(client), Some(qid)) => {
+                        let msg = PeerMsg::Result {
+                            qid,
+                            items: items_xml,
+                        };
+                        let bytes = msg.wire_bytes();
+                        if let Some(stats) = self.pending.get_mut(&qid) {
+                            stats.hops += 1;
+                        }
+                        self.net.send(node, client, bytes, msg);
+                    }
+                    _ => {
+                        // No routable target: record completion in place.
+                        if let Some(qid) = qid {
+                            self.complete(qid, items, None, at);
+                        }
+                    }
+                }
+            }
+            Outcome::Forward { to } => {
+                let Some(&next) = self.index_of.get(&to) else {
+                    if let Some(qid) = qid {
+                        self.complete(
+                            qid,
+                            Vec::new(),
+                            Some(format!("route to unknown server {to}")),
+                            at,
+                        );
+                    }
+                    return;
+                };
+                let wire = mqp.to_wire();
+                let bytes = wire.len();
+                if let Some(qid) = qid {
+                    if let Some(stats) = self.pending.get_mut(&qid) {
+                        stats.hops += 1;
+                        stats.mqp_bytes += bytes as u64;
+                    }
+                }
+                self.net.send(node, next, bytes, PeerMsg::Mqp(wire));
+            }
+            Outcome::Stuck { reason } => {
+                if let Some(qid) = qid {
+                    self.complete(qid, Vec::new(), Some(reason), at);
+                }
+            }
+        }
+    }
+
+    fn finish_result(&mut self, qid: u64, items_xml: &str, at: u64) {
+        // Reparse the concatenated items.
+        let wrapped = format!("<results>{items_xml}</results>");
+        let items: Vec<Element> = mqp_xml::parse(&wrapped)
+            .map(|r| r.child_elements().cloned().collect())
+            .unwrap_or_default();
+        self.complete(qid, items, None, at);
+    }
+
+    fn complete(&mut self, qid: u64, items: Vec<Element>, failure: Option<String>, at: u64) {
+        let Some(stats) = self.pending.remove(&qid) else {
+            return;
+        };
+        if self.cache_learning && failure.is_none() {
+            // §3.4: "peers maintain caches of index and meta-index
+            // servers for interest areas" — the client learns which
+            // server completed its query for this area and will route
+            // straight there next time.
+            if let (Some(area), Some(by)) = (&stats.area, &stats.bound_by) {
+                if self.peers[stats.client].id() != by {
+                    self.peers[stats.client]
+                        .catalog_mut()
+                        .record_route(area, by.clone());
+                }
+            }
+        }
+        self.completed.push(QueryOutcome {
+            qid,
+            items,
+            failure,
+            latency_us: at.saturating_sub(stats.submitted_at),
+            hops: stats.hops,
+            mqp_bytes: stats.mqp_bytes,
+        });
+    }
+
+    /// Completed queries so far.
+    pub fn completed(&self) -> &[QueryOutcome] {
+        &self.completed
+    }
+
+    /// Takes the completed-query list, clearing it.
+    pub fn take_completed(&mut self) -> Vec<QueryOutcome> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Queries still in flight.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqp_algebra::plan::Plan;
+    use mqp_namespace::{Hierarchy, Namespace, Urn};
+    use mqp_xml::parse;
+
+    fn ns() -> Namespace {
+        Namespace::new([
+            Hierarchy::new("Location").with(["USA/OR/Portland", "USA/WA/Seattle"]),
+            Hierarchy::new("Merchandise").with(["Music/CDs", "Furniture/Chairs"]),
+        ])
+    }
+
+    fn pdx_cds() -> InterestArea {
+        InterestArea::parse(&[&["USA/OR/Portland", "Music/CDs"]])
+    }
+
+    /// A 4-peer world: client, meta-index, and two sellers.
+    fn world() -> SimHarness {
+        let client = Peer::new("client", ns()).with_default_route("meta");
+        let mut meta = Peer::new("meta", ns());
+        let mut s1 = Peer::new("seller-1", ns());
+        s1.add_collection(
+            "cds",
+            pdx_cds(),
+            [
+                parse("<item><title>A</title><price>8</price></item>").unwrap(),
+                parse("<item><title>B</title><price>12</price></item>").unwrap(),
+            ],
+        );
+        let mut s2 = Peer::new("seller-2", ns());
+        s2.add_collection(
+            "cds",
+            pdx_cds(),
+            [parse("<item><title>C</title><price>9</price></item>").unwrap()],
+        );
+        // The meta-index knows both sellers.
+        meta.catalog_mut().register(s1.base_entry());
+        meta.catalog_mut().register(s2.base_entry());
+        SimHarness::new(
+            Topology::clustered(4, 2, 1_000, 50_000),
+            vec![client, meta, s1, s2],
+        )
+    }
+
+    #[test]
+    fn end_to_end_interest_area_query() {
+        let mut h = world();
+        let plan = Plan::select(
+            "price < 10",
+            Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds()))),
+        );
+        let qid = h.submit(0, plan);
+        h.run(1000);
+        assert_eq!(h.pending_count(), 0);
+        let done = h.completed();
+        assert_eq!(done.len(), 1);
+        let q = &done[0];
+        assert_eq!(q.qid, qid);
+        assert!(q.failure.is_none(), "{:?}", q.failure);
+        // Cheap CDs from both sellers.
+        let mut titles: Vec<String> = q
+            .items
+            .iter()
+            .filter_map(|i| i.field("title"))
+            .collect();
+        titles.sort();
+        assert_eq!(titles, ["A", "C"]);
+        // Path: client → meta (bind) → seller → seller → client result.
+        assert!(q.hops >= 3, "hops = {}", q.hops);
+        assert!(q.latency_us > 0);
+        assert!(q.mqp_bytes > 0);
+    }
+
+    #[test]
+    fn unknown_area_gets_stuck() {
+        let mut h = world();
+        let nowhere = InterestArea::parse(&[&["France", "Cheese"]]);
+        let plan = Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(nowhere)));
+        h.submit(0, plan);
+        h.run(1000);
+        let done = h.completed();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].failure.is_some());
+        assert!(done[0].items.is_empty());
+    }
+
+    #[test]
+    fn cache_learning_shortens_second_query() {
+        let mut h = world();
+        h.cache_learning = true;
+        let q = || {
+            Plan::select(
+                "price < 10",
+                Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds()))),
+            )
+        };
+        h.submit(0, q());
+        h.run(1000);
+        let first = h.take_completed().pop().unwrap();
+        h.submit(0, q());
+        h.run(1000);
+        let second = h.take_completed().pop().unwrap();
+        assert!(first.failure.is_none() && second.failure.is_none());
+        // The client learned the completing server; the second query
+        // skips ahead (strictly fewer or equal hops, and must not grow).
+        assert!(second.hops <= first.hops, "{} > {}", second.hops, first.hops);
+    }
+
+    #[test]
+    fn registration_messages_populate_catalogs() {
+        let client = Peer::new("client", ns());
+        let idx = Peer::new("idx", ns());
+        let mut seller = Peer::new("seller", ns());
+        seller.add_collection(
+            "cds",
+            pdx_cds(),
+            [parse("<item><price>1</price></item>").unwrap()],
+        );
+        let entry = seller.base_entry();
+        let mut h = SimHarness::new(Topology::uniform(3, 100), vec![client, idx, seller]);
+        assert_eq!(h.peer(1).catalog().entries().len(), 0);
+        h.send_registration(2, 1, entry);
+        h.run(10);
+        assert_eq!(h.peer(1).catalog().entries().len(), 1);
+        assert!(h.net.stats().messages_delivered >= 1);
+    }
+
+    #[test]
+    fn failed_server_leads_to_partial_or_stuck() {
+        let mut h = world();
+        // Kill seller-1 (node 2).
+        h.net.fail(2);
+        let plan = Plan::select(
+            "price < 10",
+            Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds()))),
+        );
+        h.submit(0, plan);
+        h.run(1000);
+        // The MQP died at the failed node: nothing completes, the
+        // query stays pending (a timeout policy is the client's job).
+        assert_eq!(h.completed().len(), 0);
+        assert_eq!(h.pending_count(), 1);
+        assert!(h.net.stats().messages_dropped >= 1);
+    }
+}
+
+#[cfg(test)]
+mod pull_tests {
+    use super::*;
+    use crate::peer::Peer;
+    use mqp_namespace::{Hierarchy, Namespace};
+    use mqp_xml::parse;
+
+    #[test]
+    fn pull_registrations_harvests_base_entries() {
+        let ns = Namespace::new([Hierarchy::new("L").with(["A/B"])]);
+        let idx = Peer::new("idx", ns.clone());
+        let mut s1 = Peer::new("s1", ns.clone());
+        s1.add_collection(
+            "c",
+            mqp_namespace::InterestArea::parse(&[&["A/B"]]),
+            [parse("<i/>").unwrap()],
+        );
+        let s2 = Peer::new("s2", ns.clone()); // empty: skipped
+        let mut h = SimHarness::new(Topology::uniform(3, 100), vec![idx, s1, s2]);
+        let pulled = h.pull_registrations(0, &[1, 2]);
+        assert_eq!(pulled, 1);
+        h.run(100);
+        // The index learned the base entry; the base learned the index.
+        assert_eq!(h.peer(0).catalog().entries().len(), 1);
+        assert!(h
+            .peer(1)
+            .catalog()
+            .entries()
+            .iter()
+            .any(|e| e.server.as_str() == "idx"));
+        assert!(h.net.stats().messages_delivered >= 2);
+    }
+}

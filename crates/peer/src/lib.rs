@@ -1,0 +1,25 @@
+//! # mqp-peer — a peer node and the simulation harness
+//!
+//! Ties the pieces together: a [`Peer`] owns a local data store, a
+//! catalog, a namespace copy (for its category-server role), and a
+//! mutant-query `Processor`; it implements `ServerContext` so the
+//! processor can bind, reduce, and route plans against this peer's
+//! knowledge. The [`SimHarness`] runs a population of peers over the
+//! `mqp-net` discrete-event simulator, moving serialized MQP envelopes
+//! between them and accounting every byte — the substrate for every
+//! experiment in EXPERIMENTS.md.
+//!
+//! Peer roles (§3.2) are configuration, not types: a peer with local
+//! collections is a *base server*; one with catalog entries it answers
+//! routing queries from is an *index* or *meta-index* server; one that
+//! can answer namespace questions is a *category server*. A single peer
+//! may do all four — "this query's client may well become the next
+//! query's server" (§1).
+
+pub mod harness;
+pub mod peer;
+pub mod store;
+
+pub use harness::{PeerMsg, QueryOutcome, QueryStats, SimHarness};
+pub use peer::Peer;
+pub use store::{Collection, LocalStore};

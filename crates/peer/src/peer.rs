@@ -1,0 +1,374 @@
+//! The peer node: local store + catalog + processor, implementing
+//! `ServerContext`.
+
+use std::cell::Cell;
+
+use mqp_algebra::plan::{Plan, UrlRef, UrnRef};
+use mqp_catalog::{Catalog, CatalogEntry, ServerId};
+use mqp_core::{Policy, Processor, ServerContext};
+use mqp_namespace::{CategoryPath, InterestArea, Namespace, Urn};
+use mqp_xml::Element;
+
+use crate::store::{Collection, LocalStore};
+
+/// A peer in the MQP network. See the crate docs for the role model.
+#[derive(Debug, Clone)]
+pub struct Peer {
+    id: ServerId,
+    store: LocalStore,
+    catalog: Catalog,
+    namespace: Namespace,
+    processor: Processor,
+    /// Last-resort route when the catalog knows nothing (the hardwired
+    /// bootstrap server of §3.2).
+    default_route: Option<ServerId>,
+    /// Simulated clock, set by the harness before each processing step.
+    clock_us: Cell<u64>,
+}
+
+impl Peer {
+    /// Creates a peer with an empty store and catalog.
+    pub fn new(id: impl Into<ServerId>, namespace: Namespace) -> Self {
+        Peer {
+            id: id.into(),
+            store: LocalStore::new(),
+            catalog: Catalog::new(),
+            namespace,
+            processor: Processor::default(),
+            default_route: None,
+            clock_us: Cell::new(0),
+        }
+    }
+
+    /// Sets the processing policy; returns `self` for chaining.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.processor = Processor::new(policy);
+        self
+    }
+
+    /// Sets the bootstrap route; returns `self` for chaining.
+    pub fn with_default_route(mut self, to: impl Into<ServerId>) -> Self {
+        self.default_route = Some(to.into());
+        self
+    }
+
+    /// This peer's id.
+    pub fn id(&self) -> &ServerId {
+        &self.id
+    }
+
+    /// The namespace this peer knows (category-server role, §3.5).
+    pub fn namespace(&self) -> &Namespace {
+        &self.namespace
+    }
+
+    /// The local store.
+    pub fn store(&self) -> &LocalStore {
+        &self.store
+    }
+
+    /// The catalog (mutable, for registration and cache updates).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The processor.
+    pub fn processor(&self) -> &Processor {
+        &self.processor
+    }
+
+    /// Sets the simulated clock (harness use).
+    pub fn set_clock(&self, us: u64) {
+        self.clock_us.set(us);
+    }
+
+    /// Publishes a collection: stores it and registers this peer as a
+    /// base server for its area in the local catalog (self-knowledge —
+    /// the peer can then bind interest-area URNs to itself).
+    pub fn add_collection(
+        &mut self,
+        name: &str,
+        area: InterestArea,
+        items: impl IntoIterator<Item = Element>,
+    ) {
+        self.store.put(Collection {
+            name: name.to_owned(),
+            area: area.clone(),
+            items: items.into_iter().collect(),
+        });
+        self.catalog
+            .register(CatalogEntry::base(self.id.clone(), area));
+    }
+
+    /// Maps a named URN (e.g. `urn:ForSale:Portland-CDs`) to one of this
+    /// peer's collections.
+    pub fn publish_urn(&mut self, urn: &str, collection: &str) {
+        self.catalog.map_urn(
+            urn,
+            self.id.clone(),
+            Some(format!("/data[@id='{collection}']")),
+        );
+    }
+
+    /// The entry another peer should register to know about this peer's
+    /// base data.
+    pub fn base_entry(&self) -> CatalogEntry {
+        CatalogEntry::base(self.id.clone(), self.store.area())
+    }
+
+    /// Category-server query (§3.2): immediate subcategories of a
+    /// category in a dimension.
+    pub fn subcategories(&self, dimension: &str, path: &CategoryPath) -> Vec<CategoryPath> {
+        self.namespace
+            .dimension(dimension)
+            .map(|d| d.subcategory_paths(path))
+            .unwrap_or_default()
+    }
+
+    /// Processes an MQP envelope at this peer (harness use).
+    pub fn process(&self, mqp: &mut mqp_core::Mqp) -> mqp_core::Outcome {
+        self.processor.process(mqp, self)
+    }
+
+    /// Decodes the `area` annotation on a URL, if present.
+    fn url_area(url: &UrlRef) -> Option<InterestArea> {
+        let spec = url.meta.get("area")?;
+        mqp_namespace::urn::decode_area(spec).ok()
+    }
+}
+
+impl ServerContext for Peer {
+    fn id(&self) -> ServerId {
+        self.id.clone()
+    }
+
+    fn now(&self) -> u64 {
+        self.clock_us.get()
+    }
+
+    fn local_url_data(&self, url: &UrlRef) -> Option<Vec<Element>> {
+        let host = ServerId::from_url(&url.href)?;
+        if host != self.id {
+            return None;
+        }
+        // Area-scoped references (from interest-area bindings) return
+        // only overlapping collections; collection references return
+        // that collection; bare references return everything.
+        if let Some(area) = Self::url_area(url) {
+            return Some(self.store.items_overlapping(&area));
+        }
+        self.store.items_for(url.collection.as_ref())
+    }
+
+    fn bind_urn(&self, urn: &UrnRef) -> Option<(Plan, String, u32)> {
+        match &urn.urn {
+            Urn::Named { .. } => {
+                let hits = self.catalog.resolve_named(&urn.urn);
+                if hits.is_empty() {
+                    return None;
+                }
+                let detail = hits
+                    .iter()
+                    .map(|(s, c)| match c {
+                        Some(c) => format!("{}{}", s.to_url(), c),
+                        None => s.to_url(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" U ");
+                let urls: Vec<Plan> = hits
+                    .into_iter()
+                    .map(|(s, c)| {
+                        let mut u = UrlRef::new(s.to_url());
+                        if let Some(c) = c {
+                            u.collection = mqp_xml::xpath::Path::parse(&c).ok();
+                        }
+                        Plan::Url(u)
+                    })
+                    .collect();
+                let plan = if urls.len() == 1 {
+                    urls.into_iter().next().unwrap()
+                } else {
+                    Plan::union(urls)
+                };
+                Some((plan, detail, 0))
+            }
+            Urn::InterestArea(area) => {
+                let binding = self.catalog.bind_area(area);
+                let plan = binding.to_plan()?;
+                let detail = format!(
+                    "{} alternative(s) for {}",
+                    binding.alternatives.len(),
+                    area
+                );
+                Some((plan, detail, 0))
+            }
+        }
+    }
+
+    fn route(&self, plan: &Plan, visited: &[ServerId]) -> Option<ServerId> {
+        // 1. A remote URL names a server that can definitely make
+        //    progress — go there (Figure 4: "forwards the plan to one of
+        //    the seller servers").
+        for url in plan.urls() {
+            if let Some(host) = ServerId::from_url(&url.href) {
+                if host != self.id && !visited.contains(&host) {
+                    return Some(host);
+                }
+            }
+        }
+        // 2. Unbound interest-area URNs: ask the catalog for the best
+        //    index/meta-index server for their (unioned) area.
+        let mut area = InterestArea::empty();
+        for u in plan.urns() {
+            if let Some(a) = u.urn.as_area() {
+                area = area.union(a);
+            }
+        }
+        if !area.is_empty() {
+            if let Some(next) = self.catalog.route_for(&area, visited) {
+                return Some(next);
+            }
+        }
+        // 3. Named URNs or nothing better: bootstrap route.
+        self.default_route
+            .clone()
+            .filter(|d| !visited.contains(d) && *d != self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqp_core::{Mqp, Outcome};
+    use mqp_namespace::Hierarchy;
+    use mqp_xml::parse;
+
+    fn ns() -> Namespace {
+        Namespace::new([
+            Hierarchy::new("Location").with(["USA/OR/Portland", "USA/WA/Seattle"]),
+            Hierarchy::new("Merchandise").with(["Music/CDs", "Furniture/Chairs"]),
+        ])
+    }
+
+    fn pdx_cds() -> InterestArea {
+        InterestArea::parse(&[&["USA/OR/Portland", "Music/CDs"]])
+    }
+
+    fn seller() -> Peer {
+        let mut p = Peer::new("seller-1", ns());
+        p.add_collection(
+            "cds",
+            pdx_cds(),
+            [
+                parse("<item><title>A</title><price>8</price></item>").unwrap(),
+                parse("<item><title>B</title><price>12</price></item>").unwrap(),
+            ],
+        );
+        p.add_collection(
+            "chairs",
+            InterestArea::parse(&[&["USA/OR/Portland", "Furniture/Chairs"]]),
+            [parse("<item><title>armchair</title><price>5</price></item>").unwrap()],
+        );
+        p
+    }
+
+    #[test]
+    fn local_url_data_scopes_by_area() {
+        let p = seller();
+        // Bare self URL: everything.
+        let bare = UrlRef::new("mqp://seller-1/");
+        assert_eq!(p.local_url_data(&bare).unwrap().len(), 3);
+        // Area-scoped: only CDs.
+        let mut scoped = UrlRef::new("mqp://seller-1/");
+        scoped
+            .meta
+            .set("area", mqp_namespace::urn::encode_area(&pdx_cds()));
+        assert_eq!(p.local_url_data(&scoped).unwrap().len(), 2);
+        // Collection reference.
+        let by_collection = UrlRef::with_collection("mqp://seller-1/", "/data[@id='chairs']");
+        assert_eq!(p.local_url_data(&by_collection).unwrap().len(), 1);
+        // Other host: not local.
+        let other = UrlRef::new("mqp://elsewhere/");
+        assert!(p.local_url_data(&other).is_none());
+    }
+
+    #[test]
+    fn interest_area_query_completes_locally() {
+        let p = seller();
+        let urn = Urn::area(pdx_cds());
+        let plan = Plan::display(
+            "client#0",
+            Plan::select("price < 10", Plan::Urn(mqp_algebra::plan::UrnRef::new(urn))),
+        );
+        let mut mqp = Mqp::new(plan);
+        match p.process(&mut mqp) {
+            Outcome::Complete { items, .. } => {
+                // Only the cheap CD: the armchair (price 5) is outside
+                // the query's interest area.
+                assert_eq!(items.len(), 1);
+                assert_eq!(items[0].field("title").as_deref(), Some("A"));
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn named_urn_binding() {
+        let mut p = seller();
+        p.publish_urn("urn:ForSale:Portland-CDs", "cds");
+        let plan = Plan::display("client#0", Plan::urn("urn:ForSale:Portland-CDs"));
+        let mut mqp = Mqp::new(plan);
+        match p.process(&mut mqp) {
+            Outcome::Complete { items, .. } => assert_eq!(items.len(), 2),
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn routing_prefers_remote_url() {
+        let p = Peer::new("router", ns()).with_default_route("bootstrap");
+        let plan = Plan::select("true", Plan::url("mqp://target/"));
+        assert_eq!(
+            p.route(&plan, &[]).unwrap(),
+            ServerId::new("target")
+        );
+        // Visited target falls through to default route.
+        assert_eq!(
+            p.route(&plan, &[ServerId::new("target")]).unwrap(),
+            ServerId::new("bootstrap")
+        );
+    }
+
+    #[test]
+    fn routing_uses_catalog_for_area_urns() {
+        let mut p = Peer::new("router", ns());
+        p.catalog_mut().register(
+            CatalogEntry::index("idx-music", InterestArea::parse(&[&["*", "Music"]]))
+                .authoritative(),
+        );
+        let plan = Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds())));
+        assert_eq!(p.route(&plan, &[]).unwrap(), ServerId::new("idx-music"));
+    }
+
+    #[test]
+    fn category_server_role() {
+        let p = Peer::new("cat", ns());
+        let subs = p.subcategories("Merchandise", &CategoryPath::top());
+        let names: Vec<String> = subs.iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, ["Furniture", "Music"]);
+        assert!(p.subcategories("Nope", &CategoryPath::top()).is_empty());
+    }
+
+    #[test]
+    fn base_entry_reflects_store() {
+        let p = seller();
+        let e = p.base_entry();
+        assert!(e.area.overlaps(&pdx_cds()));
+        assert_eq!(e.server, ServerId::new("seller-1"));
+    }
+}

@@ -1,0 +1,220 @@
+//! The local data store: named collections of XML items, each placed in
+//! an interest area.
+
+use std::collections::BTreeMap;
+
+use mqp_namespace::InterestArea;
+use mqp_xml::xpath::Path;
+use mqp_xml::Element;
+
+/// One named collection — the paper's unit of publication: an index
+/// entry references it as `(http://host, /data[@id='NAME'])` (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Collection {
+    /// Collection identifier (the `@id` in the XPath reference).
+    pub name: String,
+    /// The interest area the collection's items fall in.
+    pub area: InterestArea,
+    /// The items.
+    pub items: Vec<Element>,
+}
+
+/// A peer's local collections.
+#[derive(Debug, Clone, Default)]
+pub struct LocalStore {
+    collections: BTreeMap<String, Collection>,
+}
+
+impl LocalStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        LocalStore::default()
+    }
+
+    /// Adds (or replaces) a collection.
+    pub fn put(&mut self, collection: Collection) {
+        self.collections
+            .insert(collection.name.clone(), collection);
+    }
+
+    /// Appends items to an existing collection (creating it with the
+    /// given area if absent).
+    pub fn extend(
+        &mut self,
+        name: &str,
+        area: &InterestArea,
+        items: impl IntoIterator<Item = Element>,
+    ) {
+        let c = self
+            .collections
+            .entry(name.to_owned())
+            .or_insert_with(|| Collection {
+                name: name.to_owned(),
+                area: area.clone(),
+                items: Vec::new(),
+            });
+        c.area = c.area.union(area);
+        c.items.extend(items);
+    }
+
+    /// A collection by name.
+    pub fn get(&self, name: &str) -> Option<&Collection> {
+        self.collections.get(name)
+    }
+
+    /// All collections, in name order.
+    pub fn collections(&self) -> impl Iterator<Item = &Collection> {
+        self.collections.values()
+    }
+
+    /// Total number of items across collections.
+    pub fn len(&self) -> usize {
+        self.collections.values().map(|c| c.items.len()).sum()
+    }
+
+    /// True when the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Union of all collection areas: the peer's *base interest area*.
+    pub fn area(&self) -> InterestArea {
+        self.collections
+            .values()
+            .fold(InterestArea::empty(), |acc, c| acc.union(&c.area))
+    }
+
+    /// Items behind a URL collection reference: `None` path = all items;
+    /// `/data[@id='NAME']` = that collection; any other XPath selects
+    /// from the synthetic `<data>` document containing every collection
+    /// item.
+    pub fn items_for(&self, collection: Option<&Path>) -> Option<Vec<Element>> {
+        match collection {
+            None => Some(
+                self.collections
+                    .values()
+                    .flat_map(|c| c.items.iter().cloned())
+                    .collect(),
+            ),
+            Some(path) => {
+                // Fast path: /data[@id='NAME'].
+                if let Some(name) = collection_id(path) {
+                    return self.get(&name).map(|c| c.items.clone());
+                }
+                // General: evaluate against <data><collection …>items…</…></data>.
+                let mut doc = Element::new("data");
+                for c in self.collections.values() {
+                    for i in &c.items {
+                        doc.push_child(mqp_xml::Node::Element(i.clone()));
+                    }
+                }
+                let sel: Vec<Element> = path
+                    .select_elements(&doc)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                Some(sel)
+            }
+        }
+    }
+
+    /// Items whose collection area overlaps `area`.
+    pub fn items_overlapping(&self, area: &InterestArea) -> Vec<Element> {
+        self.collections
+            .values()
+            .filter(|c| c.area.overlaps(area))
+            .flat_map(|c| c.items.iter().cloned())
+            .collect()
+    }
+}
+
+/// Extracts `NAME` from the canonical `/data[@id='NAME']` reference.
+fn collection_id(path: &Path) -> Option<String> {
+    if !path.absolute || path.steps.len() != 1 {
+        return None;
+    }
+    let step = &path.steps[0];
+    if !matches!(&step.test, mqp_xml::xpath::NodeTest::Name(n) if n == "data") {
+        return None;
+    }
+    match step.predicates.as_slice() {
+        [mqp_xml::xpath::Predicate::Attr(a, mqp_xml::xpath::Op::Eq, v)] if a == "id" => {
+            Some(v.clone())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqp_xml::parse;
+
+    fn store() -> LocalStore {
+        let mut s = LocalStore::new();
+        s.put(Collection {
+            name: "cds".to_owned(),
+            area: InterestArea::parse(&[&["USA/OR/Portland", "Music/CDs"]]),
+            items: vec![
+                parse("<item><title>A</title><price>8</price></item>").unwrap(),
+                parse("<item><title>B</title><price>12</price></item>").unwrap(),
+            ],
+        });
+        s.put(Collection {
+            name: "chairs".to_owned(),
+            area: InterestArea::parse(&[&["USA/OR/Portland", "Furniture/Chairs"]]),
+            items: vec![parse("<item><title>armchair</title></item>").unwrap()],
+        });
+        s
+    }
+
+    #[test]
+    fn default_collection_is_everything() {
+        let s = store();
+        assert_eq!(s.items_for(None).unwrap().len(), 3);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn named_collection_reference() {
+        let s = store();
+        let p = Path::parse("/data[@id='cds']").unwrap();
+        assert_eq!(s.items_for(Some(&p)).unwrap().len(), 2);
+        let missing = Path::parse("/data[@id='nope']").unwrap();
+        assert!(s.items_for(Some(&missing)).is_none());
+    }
+
+    #[test]
+    fn general_xpath_reference() {
+        let s = store();
+        let p = Path::parse("item[price < 10]").unwrap();
+        assert_eq!(s.items_for(Some(&p)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn area_is_union() {
+        let s = store();
+        let a = s.area();
+        assert!(a.overlaps(&InterestArea::parse(&[&["USA/OR/Portland", "Music"]])));
+        assert!(a.overlaps(&InterestArea::parse(&[&["USA/OR/Portland", "Furniture"]])));
+        assert!(!a.overlaps(&InterestArea::parse(&[&["France", "*"]])));
+    }
+
+    #[test]
+    fn items_overlapping_filters_by_area() {
+        let s = store();
+        let music = InterestArea::parse(&[&["USA/OR", "Music"]]);
+        assert_eq!(s.items_overlapping(&music).len(), 2);
+        let everything = InterestArea::parse(&[&["USA", "*"]]);
+        assert_eq!(s.items_overlapping(&everything).len(), 3);
+    }
+
+    #[test]
+    fn extend_unions_area() {
+        let mut s = store();
+        let more = InterestArea::parse(&[&["USA/OR/Eugene", "Music/CDs"]]);
+        s.extend("cds", &more, [parse("<item><title>C</title></item>").unwrap()]);
+        assert_eq!(s.get("cds").unwrap().items.len(), 3);
+        assert!(s.get("cds").unwrap().area.overlaps(&more));
+    }
+}

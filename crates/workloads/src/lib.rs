@@ -1,0 +1,23 @@
+//! # mqp-workloads — the paper's scenarios as deterministic generators
+//!
+//! Three workloads, matching the paper's running examples:
+//!
+//! * [`garage`] — the P2P garage sale (§2): a Location × Merchandise
+//!   namespace, consignment-shop sellers with locality, index and
+//!   meta-index peers, and interest-area queries. The workhorse for the
+//!   routing and scaling experiments.
+//! * [`gene`] — "Of Mice and Men" (Figure 1): gene-expression
+//!   repositories over Organism × CellType hierarchies; three research
+//!   groups with the paper's exact interest areas, and the mammalian
+//!   cardiac-cell query the figure routes.
+//! * [`cd`] — the CD search of Figures 3–4: favourite songs ⋈ a
+//!   track-listing service ⋈ Portland for-sale lists with
+//!   `price < $10`, including the CDDB/FreeDB substitute (a synthetic
+//!   track-listing collection served by a peer).
+//!
+//! All generators are seeded and deterministic: the same config yields
+//! byte-identical worlds, so experiments are reproducible.
+
+pub mod cd;
+pub mod garage;
+pub mod gene;

@@ -1,0 +1,93 @@
+//! Parse errors with byte-offset positions.
+
+use std::fmt;
+
+/// Result alias for XML parsing.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// An error produced while parsing an XML document or an XPath expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+/// The category of a [`ParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start or continue the expected construct.
+    UnexpectedChar(char),
+    /// `</close>` did not match the open tag.
+    MismatchedTag { open: String, close: String },
+    /// An entity reference (`&...;`) that we do not recognize.
+    UnknownEntity(String),
+    /// Invalid numeric character reference.
+    BadCharRef(String),
+    /// Document contained trailing non-whitespace content after the root.
+    TrailingContent,
+    /// Document had no root element.
+    NoRootElement,
+    /// An XPath expression was malformed.
+    BadPath(String),
+    /// Attribute appears twice on one element.
+    DuplicateAttribute(String),
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, kind: ErrorKind) -> Self {
+        ParseError { offset, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: ", self.offset)?;
+        match &self.kind {
+            ErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ErrorKind::MismatchedTag { open, close } => {
+                write!(f, "mismatched tag: <{open}> closed by </{close}>")
+            }
+            ErrorKind::UnknownEntity(e) => write!(f, "unknown entity &{e};"),
+            ErrorKind::BadCharRef(e) => write!(f, "bad character reference &#{e};"),
+            ErrorKind::TrailingContent => write!(f, "trailing content after root element"),
+            ErrorKind::NoRootElement => write!(f, "no root element"),
+            ErrorKind::BadPath(p) => write!(f, "bad XPath expression: {p}"),
+            ErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_kind() {
+        let e = ParseError::new(17, ErrorKind::UnknownEntity("nbsp".into()));
+        let s = e.to_string();
+        assert!(s.contains("17"), "{s}");
+        assert!(s.contains("nbsp"), "{s}");
+    }
+
+    #[test]
+    fn display_mismatched_tag() {
+        let e = ParseError::new(
+            0,
+            ErrorKind::MismatchedTag {
+                open: "a".into(),
+                close: "b".into(),
+            },
+        );
+        assert_eq!(
+            e.to_string(),
+            "XML parse error at byte 0: mismatched tag: <a> closed by </b>"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # mqp-xml — XML substrate for mutant query plans
+//!
+//! The CIDR 2003 paper serializes query plans, verbatim data, and partial
+//! results as XML, and its prototype used the Niagara XML engine. This
+//! crate is our stand-in substrate: a small, dependency-free XML tree
+//! model ([`Element`], [`Node`]), a recursive-descent parser
+//! ([`parse()`](parse::parse)), a serializer with correct escaping, and an XPath-subset
+//! evaluator ([`xpath::Path`]) used for collection identifiers
+//! (e.g. `/data[@id='245']`) and value extraction inside predicates.
+//!
+//! Design goals:
+//! * **Round-trip fidelity** — `parse(serialize(e)) == e` for any tree the
+//!   model can represent (property-tested).
+//! * **Determinism** — attribute order is preserved, no hash-map ordering
+//!   leaks into the wire format, so simulator runs are reproducible.
+//! * **Cheap size accounting** — [`Element::serialized_len`] lets the
+//!   network layer charge bytes without materializing strings.
+
+pub mod error;
+pub mod node;
+pub mod parse;
+pub mod serialize;
+pub mod xpath;
+
+pub use error::{ParseError, Result};
+pub use node::{Element, Node};
+pub use parse::{parse, parse_document};
+pub use serialize::{serialize, serialize_pretty};
+
+#[cfg(test)]
+mod proptests;

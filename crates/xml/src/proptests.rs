@@ -1,0 +1,135 @@
+//! Property tests for the XML substrate: round-trip fidelity and size
+//! accounting, over arbitrary generated trees.
+
+use proptest::prelude::*;
+
+use crate::node::{Element, Node};
+use crate::{parse, serialize, serialize_pretty};
+
+/// Text that exercises escaping but avoids the one thing the model cannot
+/// represent: a text node adjacent to another text node (the parser
+/// merges them, so `Text("a"), Text("b")` does not round-trip as two
+/// nodes). The generator below never produces adjacent text children.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~éü&<>'\"]{1,12}").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z_][a-zA-Z0-9_.-]{0,8}").unwrap()
+}
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3)).prop_map(
+        |(name, attrs)| {
+            let mut e = Element::new(name);
+            for (n, v) in attrs {
+                e.set_attr(n, v); // set_attr dedups names
+            }
+            e
+        },
+    );
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+            proptest::collection::vec(
+                prop_oneof![
+                    inner.prop_map(NodeKind::Element),
+                    arb_text().prop_map(NodeKind::Text)
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(name, attrs, kids)| {
+                let mut e = Element::new(name);
+                for (n, v) in attrs {
+                    e.set_attr(n, v);
+                }
+                let mut last_was_text = false;
+                for k in kids {
+                    match k {
+                        NodeKind::Element(el) => {
+                            e.push_child(Node::Element(el));
+                            last_was_text = false;
+                        }
+                        NodeKind::Text(t) => {
+                            // Avoid adjacent text nodes (parser merges them).
+                            if !last_was_text {
+                                e.push_child(Node::Text(t));
+                                last_was_text = true;
+                            }
+                        }
+                    }
+                }
+                e
+            })
+    })
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Element(Element),
+    Text(String),
+}
+
+/// Trims every text node and drops the ones that become empty; the
+/// equivalence pretty-printing preserves.
+fn normalize_text(e: &Element) -> Element {
+    let mut out = Element::new(e.name());
+    for (n, v) in e.attrs() {
+        out.set_attr(n.clone(), v.clone());
+    }
+    for c in e.children() {
+        match c {
+            Node::Element(el) => out.push_child(Node::Element(normalize_text(el))),
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    out.push_child(Node::Text(t.to_owned()));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_compact(e in arb_element()) {
+        let s = serialize(&e);
+        let back = parse(&s).expect("serialized output must reparse");
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn serialized_len_is_exact(e in arb_element()) {
+        prop_assert_eq!(e.serialized_len(), serialize(&e).len());
+    }
+
+    #[test]
+    fn pretty_roundtrips_structure(e in arb_element()) {
+        // Pretty printing inserts indentation around mixed-content text,
+        // so it is lossy for surrounding whitespace by design. The
+        // invariant it promises: reparsing and normalizing whitespace in
+        // text nodes recovers the whitespace-normalized original.
+        let pretty = serialize_pretty(&e);
+        let back = parse(&pretty).expect("pretty output must reparse");
+        prop_assert_eq!(normalize_text(&back), normalize_text(&e));
+    }
+
+    #[test]
+    fn subtree_size_positive_and_monotone(e in arb_element()) {
+        let size = e.subtree_size();
+        prop_assert!(size >= 1);
+        for c in e.child_elements() {
+            prop_assert!(c.subtree_size() < size);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "[ -~<>&;/\"']{0,64}") {
+        let _ = parse(&s); // must not panic
+    }
+}

@@ -1,0 +1,59 @@
+//! The mutant-query evaluation of Figures 3–4, traced step by step:
+//! the plan starts at the client with verbatim favourite songs, binds
+//! `urn:CD:TrackListings` and `urn:ForSale:Portland-CDs` at a
+//! meta-index server, reduces at the track-listing service and each
+//! seller in turn, and arrives back fully evaluated.
+//!
+//! Run with: `cargo run --example cd_search`
+
+use mqp::workloads::cd::{build, CdConfig};
+
+fn main() {
+    let mut world = build(CdConfig {
+        albums: 30,
+        tracks_per_album: 6,
+        favorites: 4,
+        sellers: 2,
+        stock_fraction: 0.6,
+        seed: 7,
+    });
+    println!("Figure 3 plan:\n{}\n", world.plan);
+    println!(
+        "favourite songs appear on: {}\n",
+        world.favorite_albums.join(", ")
+    );
+
+    let qid = world.harness.submit(world.client, world.plan.clone());
+    world.harness.run(1_000_000);
+
+    for q in world.harness.completed() {
+        assert_eq!(q.qid, qid);
+        match &q.failure {
+            None => {
+                println!(
+                    "completed: {} matching CDs, {} hops, {} MQP bytes, {:.1} ms\n",
+                    q.items.len(),
+                    q.hops,
+                    q.mqp_bytes,
+                    q.latency_us as f64 / 1000.0
+                );
+                for t in &q.items {
+                    let album = mqp::xml::xpath::values(t, "item/title")
+                        .first()
+                        .cloned()
+                        .unwrap_or_default();
+                    let price = mqp::xml::xpath::values(t, "item/price")
+                        .first()
+                        .cloned()
+                        .unwrap_or_default();
+                    let song = mqp::xml::xpath::values(t, "tuple/song/title")
+                        .first()
+                        .cloned()
+                        .unwrap_or_default();
+                    println!("  {album} (${price}) — has favourite {song}");
+                }
+            }
+            Some(reason) => println!("failed: {reason}"),
+        }
+    }
+}

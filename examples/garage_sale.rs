@@ -1,0 +1,77 @@
+//! The P2P garage sale (paper §2): a full world with meta-index, index,
+//! and seller peers, running a batch of interest-area queries and
+//! reporting routing efficiency — including the §3.4 route-cache
+//! warm-up.
+//!
+//! Run with: `cargo run --example garage_sale`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mqp::workloads::garage::{build, random_query, GarageConfig};
+
+fn main() {
+    let config = GarageConfig {
+        sellers: 40,
+        items_per_seller: 12,
+        index_servers: 8,
+        meta_servers: 2,
+        seed: 2003,
+    };
+    println!(
+        "garage-sale world: {} sellers x {} items, {} index, {} meta servers\n",
+        config.sellers, config.items_per_seller, config.index_servers, config.meta_servers
+    );
+    let mut world = build(config);
+    world.harness.cache_learning = true;
+
+    let queries = 30;
+    let mut total_items = 0usize;
+    let mut ok = 0usize;
+    let mut empty = 0usize;
+    let mut hops_cold = Vec::new();
+    let mut hops_warm = Vec::new();
+
+    for round in 0..2 {
+        // Same query mix both rounds; the second benefits from caches.
+        let mut round_rng = StdRng::seed_from_u64(4242);
+        for _ in 0..queries {
+            let plan = random_query(&mut round_rng, Some(100.0));
+            world.harness.submit(world.client, plan);
+            world.harness.run(1_000_000);
+        }
+        for q in world.harness.take_completed() {
+            match &q.failure {
+                None => {
+                    ok += 1;
+                    total_items += q.items.len();
+                    if round == 0 {
+                        hops_cold.push(q.hops);
+                    } else {
+                        hops_warm.push(q.hops);
+                    }
+                }
+                Some(_) => empty += 1,
+            }
+        }
+    }
+
+    let mean = |v: &[u64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        }
+    };
+    println!("queries: {ok} completed, {empty} found no covering server");
+    println!("items returned: {total_items}");
+    println!("mean hops, cold caches : {:.2}", mean(&hops_cold));
+    println!("mean hops, warm caches : {:.2}", mean(&hops_warm));
+    let stats = world.harness.net.stats();
+    println!(
+        "\nnetwork totals: {} messages, {} bytes, receive imbalance {:.2}x",
+        stats.messages_sent,
+        stats.bytes_sent,
+        stats.receive_imbalance()
+    );
+}

@@ -1,0 +1,59 @@
+//! "Of Mice and Men" (paper Figure 1): routing a mammalian
+//! cardiac-muscle query across gene-expression repositories described
+//! by Organism × CellType interest areas.
+//!
+//! Run with: `cargo run --example gene_expression`
+
+use mqp::workloads::gene::{build, cardiac_mammal_area, cardiac_query, group_areas};
+
+fn main() {
+    println!("Figure 1 interest areas:");
+    for (name, area) in group_areas() {
+        println!("  {name:<12} {area}");
+    }
+    let q = cardiac_mammal_area();
+    println!("\nquery area: {q}\n");
+    for (name, area) in group_areas() {
+        println!(
+            "  {name:<12} overlaps query: {}",
+            if area.overlaps(&q) { "yes — route here" } else { "no — skip" }
+        );
+    }
+
+    let (mut harness, client) = build(8);
+    let qid = harness.submit(client, cardiac_query());
+    harness.run(100_000);
+
+    println!();
+    for q in harness.completed() {
+        assert_eq!(q.qid, qid);
+        match &q.failure {
+            None => {
+                let mut by_lab = std::collections::BTreeMap::<String, usize>::new();
+                for item in &q.items {
+                    if let Some(lab) = item.field("lab") {
+                        *by_lab.entry(lab).or_default() += 1;
+                    }
+                }
+                println!(
+                    "query completed in {} hops, {:.1} ms, {} records:",
+                    q.hops,
+                    q.latency_us as f64 / 1000.0,
+                    q.items.len()
+                );
+                for (lab, n) in &by_lab {
+                    println!("  {lab:<12} {n} expression records");
+                }
+                assert!(!by_lab.contains_key("fly-lab"), "fly lab must be skipped");
+            }
+            Some(reason) => println!("query failed: {reason}"),
+        }
+    }
+    let stats = harness.net.stats();
+    println!(
+        "\nnetwork: {} messages, {} bytes — the fly lab received {} of them",
+        stats.messages_sent,
+        stats.bytes_sent,
+        stats.per_node[2].1, // node 2 = fly-lab
+    );
+}

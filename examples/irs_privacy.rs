@@ -1,0 +1,107 @@
+//! The law-enforcement scenario of §5.2: an MQP obtains an answer no
+//! single agency would disclose wholesale. The IRS is willing to pass
+//! (employee, charity) pairs to the State Department, which joins them
+//! against its front-organization list and returns only the names —
+//! neither agency divulges its full dataset to the requesting agency.
+//!
+//! Run with: `cargo run --example irs_privacy`
+
+use mqp::algebra::plan::{JoinCond, Plan};
+use mqp::namespace::{Hierarchy, Namespace};
+use mqp::net::Topology;
+use mqp::peer::{Peer, SimHarness};
+use mqp::xml::Element;
+
+fn main() {
+    let ns = Namespace::new([Hierarchy::new("Agency").with(["IRS", "State"])]);
+
+    // The IRS: itemized deductions over $5000 by employees of AcmeCorp.
+    let mut irs = Peer::new("irs", ns.clone()).with_default_route("state");
+    irs.add_collection(
+        "deductions",
+        mqp::namespace::InterestArea::parse(&[&["IRS"]]),
+        [
+            deduction("alice", "AcmeCorp", "Sunrise Fund", 9000.0),
+            deduction("bob", "AcmeCorp", "Red Cross", 6000.0),
+            deduction("carol", "AcmeCorp", "Sunrise Fund", 2000.0),
+            deduction("dave", "OtherCo", "Sunrise Fund", 8000.0),
+        ],
+    );
+    irs.publish_urn("urn:IRS:Deductions", "deductions");
+
+    // The State Department: suspected front organizations.
+    let mut state = Peer::new("state", ns.clone());
+    state.add_collection(
+        "fronts",
+        mqp::namespace::InterestArea::parse(&[&["State"]]),
+        [front("Sunrise Fund"), front("Moonbeam Trust")],
+    );
+    state.publish_urn("urn:State:FrontOrgs", "fronts");
+
+    // The law-enforcement agency submits the MQP. It knows only the
+    // abstract resource names.
+    let agency = Peer::new("agency", ns.clone()).with_default_route("irs");
+
+    // π(name)( σ(employer=AcmeCorp ∧ amount>5000)(Deductions)
+    //          ⋈ charity=org FrontOrgs )
+    let plan = Plan::project(
+        ["deduction"],
+        Plan::join(
+            JoinCond::on("charity", "name"),
+            Plan::select(
+                "employer = 'AcmeCorp' and amount > 5000",
+                Plan::urn("urn:IRS:Deductions"),
+            ),
+            Plan::urn("urn:State:FrontOrgs"),
+        ),
+    );
+    println!("the agency's MQP:\n{plan}\n");
+
+    let mut harness = SimHarness::new(
+        Topology::uniform(3, 20_000),
+        vec![agency, irs, state],
+    );
+    let qid = harness.submit(0, plan);
+    harness.run(10_000);
+
+    for q in harness.completed() {
+        assert_eq!(q.qid, qid);
+        match &q.failure {
+            None => {
+                println!("names returned to the agency:");
+                for t in &q.items {
+                    let who = mqp::xml::xpath::values(t, "deduction/employee")
+                        .first()
+                        .cloned()
+                        .unwrap_or_default();
+                    println!("  - {who}");
+                }
+                // Only Alice: Bob's charity is legitimate, Carol's gift
+                // is under $5000, Dave works elsewhere.
+                assert_eq!(q.items.len(), 1);
+                println!(
+                    "\nMQP path (provenance would show): agency -> IRS (bind + filter) \
+                     -> State (join + project) -> agency"
+                );
+                println!(
+                    "hops: {}, bytes shipped: {} — the IRS never saw the front-org \
+                     list; the agency never saw either full dataset.",
+                    q.hops, q.mqp_bytes
+                );
+            }
+            Some(reason) => println!("failed: {reason}"),
+        }
+    }
+}
+
+fn deduction(employee: &str, employer: &str, charity: &str, amount: f64) -> Element {
+    Element::new("deduction")
+        .child(Element::new("employee").text(employee))
+        .child(Element::new("employer").text(employer))
+        .child(Element::new("charity").text(charity))
+        .child(Element::new("amount").text(format!("{amount}")))
+}
+
+fn front(name: &str) -> Element {
+    Element::new("org").child(Element::new("name").text(name))
+}

@@ -1,0 +1,105 @@
+//! Quickstart: build a tiny P2P world, publish data, and run a mutant
+//! query plan end to end — the garage-sale "armchairs in Portland"
+//! query of §3.1.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mqp::algebra::plan::{Plan, UrnRef};
+use mqp::namespace::{Cell, Hierarchy, InterestArea, Namespace, Urn};
+use mqp::net::Topology;
+use mqp::peer::{Peer, SimHarness};
+use mqp::xml::Element;
+
+fn main() {
+    // 1. A multi-hierarchic namespace: Location × Merchandise (§3.1).
+    let ns = Namespace::new([
+        Hierarchy::new("Location").with(["USA/OR/Portland", "USA/WA/Vancouver"]),
+        Hierarchy::new("Merchandise").with(["Furniture/Chairs", "Furniture/Tables"]),
+    ]);
+
+    // 2. Peers: a client, a meta-index server, and two sellers with
+    //    interest areas (Figure 5's areas (a) and (b)).
+    let client = Peer::new("client", ns.clone()).with_default_route("meta");
+    let mut meta = Peer::new("meta", ns.clone());
+
+    let mut vancouver = Peer::new("vancouver-shop", ns.clone());
+    vancouver.add_collection(
+        "furniture",
+        InterestArea::of(Cell::parse(["USA/WA/Vancouver", "Furniture"])),
+        [
+            item("oak table", 120.0, "Furniture/Tables"),
+            item("rocking chair", 45.0, "Furniture/Chairs"),
+        ],
+    );
+
+    let mut portland = Peer::new("portland-shop", ns.clone());
+    portland.add_collection(
+        "everything",
+        InterestArea::of(Cell::parse(["USA/OR/Portland", "*"])),
+        [
+            item("armchair", 30.0, "Furniture/Chairs"),
+            item("recliner", 80.0, "Furniture/Chairs"),
+            item("lava lamp", 12.0, "Electronics/Lighting"),
+        ],
+    );
+
+    // 3. Registration (§3.3): sellers announce their areas to the
+    //    meta-index server.
+    meta.catalog_mut().register(vancouver.base_entry());
+    meta.catalog_mut().register(portland.base_entry());
+
+    // 4. Wire everything to a simulated network: 1 ms LAN links inside
+    //    a cluster, 40 ms across.
+    let mut harness = SimHarness::new(
+        Topology::clustered(4, 2, 1_000, 40_000),
+        vec![client, meta, vancouver, portland],
+    );
+
+    // 5. The query: second-hand chairs in Portland under $50 (§3.1's
+    //    "[USA/OR/Portland, Furniture/Chairs]" interest area).
+    let area = InterestArea::of(Cell::parse(["USA/OR/Portland", "Furniture/Chairs"]));
+    // The interest area routes the plan to overlapping *collections*;
+    // the predicate then filters *items* — the Portland shop's
+    // [Portland, *] collection also holds non-furniture.
+    let plan = Plan::select(
+        "price < 50 and category = 'Furniture/Chairs'",
+        Plan::Urn(UrnRef::new(Urn::area(area))),
+    );
+    println!("query plan:\n{plan}\n");
+
+    let qid = harness.submit(0, plan);
+    harness.run(10_000);
+
+    // 6. Results.
+    for q in harness.completed() {
+        assert_eq!(q.qid, qid);
+        match &q.failure {
+            None => {
+                println!(
+                    "query {} completed: {} item(s), {} hops, {} MQP bytes, {:.1} ms",
+                    q.qid,
+                    q.items.len(),
+                    q.hops,
+                    q.mqp_bytes,
+                    q.latency_us as f64 / 1000.0
+                );
+                for i in &q.items {
+                    println!("  - {}", mqp::xml::serialize(i));
+                }
+            }
+            Some(reason) => println!("query {} failed: {reason}", q.qid),
+        }
+    }
+    let stats = harness.net.stats();
+    println!(
+        "\nnetwork: {} messages, {} bytes",
+        stats.messages_sent, stats.bytes_sent
+    );
+}
+
+fn item(name: &str, price: f64, category: &str) -> Element {
+    Element::new("item")
+        .child(Element::new("name").text(name))
+        .child(Element::new("category").text(category))
+        .child(Element::new("price").text(format!("{price:.2}")))
+}

@@ -1,0 +1,153 @@
+//! Cross-crate property tests: the invariants DESIGN.md §5 commits to
+//! that span more than one crate — reduction confluence, rewrite
+//! soundness on the real evaluator, and whole-harness determinism.
+
+use proptest::prelude::*;
+
+use mqp::algebra::plan::{JoinCond, Plan};
+use mqp::core::rewrite;
+use mqp::engine::eval_const;
+use mqp::xml::Element;
+
+fn arb_items(tag: &'static str) -> impl Strategy<Value = Vec<Element>> {
+    proptest::collection::vec((0u32..6, 0u32..50), 0..6).prop_map(move |rows| {
+        rows.into_iter()
+            .map(|(k, p)| {
+                Element::new(tag)
+                    .child(Element::new("k").text(k.to_string()))
+                    .child(Element::new("price").text(p.to_string()))
+            })
+            .collect()
+    })
+}
+
+/// Data-only plans over a small schema, deep enough to exercise every
+/// operator the rewrites touch.
+fn arb_data_plan() -> impl Strategy<Value = Plan> {
+    let leaf = arb_items("i").prop_map(Plan::data);
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (0u32..50, inner.clone()).prop_map(|(c, i)| Plan::select(
+                &format!("price < {c}"),
+                i
+            )),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Plan::union),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Plan::join(JoinCond::on("k", "k"), a, b)),
+            inner.clone().prop_map(|i| Plan::top_n(3, "price", true, i)),
+        ]
+    })
+}
+
+/// Sorted serialized form: bag equality up to order.
+fn bag(items: &[Element]) -> Vec<String> {
+    let mut v: Vec<String> = items.iter().map(mqp::xml::serialize).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normalization (select pushdown + consolidation) never changes
+    /// results on the real evaluator.
+    #[test]
+    fn normalize_preserves_results(plan in arb_data_plan()) {
+        let before = eval_const(&plan).unwrap();
+        let mut rewritten = plan.clone();
+        rewrite::normalize(&mut rewritten);
+        let after = eval_const(&rewritten).unwrap();
+        prop_assert_eq!(bag(&before), bag(&after));
+    }
+
+    /// Reduction confluence: evaluating the whole plan at once equals
+    /// reducing an arbitrary evaluable sub-plan to constant data first,
+    /// then evaluating the rest — the legality of §2's "reduce the MQP
+    /// by evaluating a sub-graph".
+    #[test]
+    fn reduction_is_confluent(plan in arb_data_plan(), pick in any::<prop::sample::Index>()) {
+        let direct = eval_const(&plan).unwrap();
+        // Pick any sub-plan (all are evaluable: data-only world).
+        let paths = plan.find_all(&|_| true);
+        let path = paths[pick.index(paths.len())].clone();
+        let mut reduced = plan.clone();
+        let sub = reduced.get(&path).unwrap().clone();
+        let sub_result = eval_const(&sub).unwrap();
+        reduced.replace(&path, Plan::data(sub_result)).unwrap();
+        let via_reduction = eval_const(&reduced).unwrap();
+        prop_assert_eq!(bag(&direct), bag(&via_reduction));
+    }
+
+    /// The MQP envelope codec round-trips any data-only plan together
+    /// with provenance.
+    #[test]
+    fn envelope_roundtrip_data_plans(plan in arb_data_plan()) {
+        let mqp = mqp::core::Mqp::new(Plan::display("c#1", plan));
+        let back = mqp::core::Mqp::from_wire(&mqp.to_wire()).expect("reparse");
+        prop_assert_eq!(back, mqp);
+    }
+}
+
+/// The whole simulation harness is deterministic: identical worlds and
+/// query streams yield identical outcomes, bytes, and clocks.
+#[test]
+fn harness_runs_are_deterministic() {
+    use mqp::workloads::garage::{build, random_query, GarageConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let run = || {
+        let mut w = build(GarageConfig {
+            sellers: 15,
+            items_per_seller: 6,
+            ..GarageConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let q = random_query(&mut rng, Some(80.0));
+            w.harness.submit(w.client, q);
+            w.harness.run(100_000);
+        }
+        let outcomes: Vec<(u64, usize, u64, u64, Option<String>)> = w
+            .harness
+            .completed()
+            .iter()
+            .map(|q| {
+                (
+                    q.qid,
+                    q.items.len(),
+                    q.hops,
+                    q.mqp_bytes,
+                    q.failure.clone(),
+                )
+            })
+            .collect();
+        let stats = w.harness.net.stats().clone();
+        (outcomes, stats.messages_sent, stats.bytes_sent)
+    };
+    assert_eq!(run(), run());
+}
+
+/// Baseline determinism, same idea.
+#[test]
+fn baseline_runs_are_deterministic() {
+    use mqp::baselines::{Chord, Flooding};
+    use mqp::net::Topology;
+
+    let chord = |n: usize| {
+        let mut c = Chord::new(Topology::uniform(n, 1_000));
+        c.publish(1, "k1");
+        c.publish(2, "k2");
+        let r = c.query(0, "k1");
+        (r.holders.clone(), r.messages, r.latency_us)
+    };
+    assert_eq!(chord(32), chord(32));
+
+    let flood = || {
+        let mut f = Flooding::new(Topology::uniform(64, 1_000), 3, 11);
+        f.publish(9, "k");
+        let r = f.query(0, "k", 4);
+        (r.holders.clone(), r.messages, r.latency_us)
+    };
+    assert_eq!(flood(), flood());
+}
