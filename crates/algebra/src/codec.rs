@@ -235,7 +235,10 @@ pub fn plan_from_xml(e: &Element) -> Result<Plan, CodecError> {
             };
             let kids: Vec<&Element> = e.child_elements().collect();
             if kids.len() != 2 {
-                return Err(malformed(format!("join needs 2 inputs, got {}", kids.len())));
+                return Err(malformed(format!(
+                    "join needs 2 inputs, got {}",
+                    kids.len()
+                )));
             }
             Ok(Plan::Join {
                 on,
@@ -252,7 +255,10 @@ pub fn plan_from_xml(e: &Element) -> Result<Plan, CodecError> {
             let mut alts = Vec::new();
             for alt in e.child_elements() {
                 if alt.name() != "alt" {
-                    return Err(malformed(format!("or child must be alt, got {}", alt.name())));
+                    return Err(malformed(format!(
+                        "or child must be alt, got {}",
+                        alt.name()
+                    )));
                 }
                 let staleness = match alt.get_attr("staleness") {
                     Some(s) => Some(
@@ -424,8 +430,14 @@ mod tests {
     #[test]
     fn wire_format_shape() {
         let wire = to_wire(&figure3_plan());
-        assert!(wire.starts_with("<display target=\"129.95.50.105:9020\">"), "{wire}");
-        assert!(wire.contains("<urn name=\"urn:ForSale:Portland-CDs\"/>"), "{wire}");
+        assert!(
+            wire.starts_with("<display target=\"129.95.50.105:9020\">"),
+            "{wire}"
+        );
+        assert!(
+            wire.contains("<urn name=\"urn:ForSale:Portland-CDs\"/>"),
+            "{wire}"
+        );
         assert!(wire.contains("pred=\"price &lt; 10\""), "{wire}");
     }
 
@@ -435,7 +447,10 @@ mod tests {
         let plans = vec![
             Plan::data([item.clone()]),
             Plan::url("http://10.1.2.3:9020/"),
-            Plan::Url(UrlRef::with_collection("http://10.3.4.5/", "/data[@id='245']")),
+            Plan::Url(UrlRef::with_collection(
+                "http://10.3.4.5/",
+                "/data[@id='245']",
+            )),
             Plan::urn("urn:InterestArea:(USA.OR.Portland,Music.CDs)"),
             Plan::select("price < 10 and name != 'junk'", Plan::data([item.clone()])),
             Plan::project(["name", "price"], Plan::data([item.clone()])),
@@ -444,10 +459,17 @@ mod tests {
                 Plan::data([item.clone()]),
                 Plan::url("http://x/"),
             ),
-            Plan::union([Plan::url("http://a/"), Plan::url("http://b/"), Plan::data([])]),
+            Plan::union([
+                Plan::url("http://a/"),
+                Plan::url("http://b/"),
+                Plan::data([]),
+            ]),
             Plan::Or(vec![
                 OrAlt::stale(Plan::url("http://r/"), 30),
-                OrAlt::new(Plan::union([Plan::url("http://r/"), Plan::url("http://s/")])),
+                OrAlt::new(Plan::union([
+                    Plan::url("http://r/"),
+                    Plan::url("http://s/"),
+                ])),
             ]),
             Plan::aggregate(AggFunc::Count, None, Plan::data([item.clone()])),
             Plan::aggregate(AggFunc::Sum, Some("price"), Plan::data([item.clone()])),
@@ -511,16 +533,16 @@ mod tests {
     fn malformed_plans_rejected() {
         for bad in [
             "<mystery/>",
-            "<select><data/></select>",                    // missing pred
+            "<select><data/></select>",                     // missing pred
             "<select pred=\"price &lt;\"><data/></select>", // bad pred
-            "<join left=\"a\" right=\"b\"><data/></join>", // one input
-            "<url/>",                                      // missing href
+            "<join left=\"a\" right=\"b\"><data/></join>",  // one input
+            "<url/>",                                       // missing href
             "<urn name=\"not-a-urn\"/>",
-            "<or/>",                                       // no alternatives
-            "<or><data/></or>",                            // child not alt
+            "<or/>",            // no alternatives
+            "<or><data/></or>", // child not alt
             "<topn n=\"x\" key=\"a\"><data/></topn>",
             "<agg func=\"median\"><data/></agg>",
-            "<display><data/></display>",                  // missing target
+            "<display><data/></display>", // missing target
         ] {
             assert!(from_wire(bad).is_err(), "{bad} should be rejected");
         }

@@ -393,7 +393,11 @@ impl Plan {
 
     /// Total node count of the plan tree.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Depth-first pre-order traversal.
@@ -547,7 +551,9 @@ impl Plan {
                 let p = path.as_ref().map(|p| format!(" {p}")).unwrap_or_default();
                 out.push_str(&format!("agg {func}{p}\n"));
             }
-            Plan::TopN { n, key, ascending, .. } => {
+            Plan::TopN {
+                n, key, ascending, ..
+            } => {
                 let dir = if *ascending { "asc" } else { "desc" };
                 out.push_str(&format!("topn {n} by {key} {dir}\n"));
             }
@@ -614,11 +620,12 @@ mod tests {
             parse("<song><title>Kashmir</title></song>").unwrap(),
         ]);
         let listings = Plan::urn("urn:CD:TrackListings");
-        let forsale = Plan::select(
-            "price < 10",
-            Plan::urn("urn:ForSale:Portland-CDs"),
+        let forsale = Plan::select("price < 10", Plan::urn("urn:ForSale:Portland-CDs"));
+        let inner = Plan::join(
+            JoinCond::on("song/title", "track/title"),
+            favorites,
+            listings,
         );
-        let inner = Plan::join(JoinCond::on("song/title", "track/title"), favorites, listings);
         let outer = Plan::join(
             JoinCond::on("tuple/track/album", "item/title"),
             inner,
@@ -704,7 +711,10 @@ mod tests {
     fn or_alt_staleness() {
         let or = Plan::Or(vec![
             OrAlt::stale(Plan::url("http://r/"), 30),
-            OrAlt::new(Plan::union([Plan::url("http://r/"), Plan::url("http://s/")])),
+            OrAlt::new(Plan::union([
+                Plan::url("http://r/"),
+                Plan::url("http://s/"),
+            ])),
         ]);
         match &or {
             Plan::Or(alts) => {

@@ -92,10 +92,7 @@ impl Predicate {
     /// literal := '…' | "…" | bare-number
     /// ```
     pub fn parse(input: &str) -> Result<Predicate, String> {
-        let mut p = PredParser {
-            input,
-            pos: 0,
-        };
+        let mut p = PredParser { input, pos: 0 };
         let pred = p.parse_or()?;
         p.skip_ws();
         if p.pos != input.len() {
@@ -174,9 +171,7 @@ impl<'a> PredParser<'a> {
         self.skip_ws();
         if self.rest().starts_with(w) {
             let after = &self.rest()[w.len()..];
-            if after.is_empty()
-                || after.starts_with(|c: char| !c.is_alphanumeric() && c != '_')
-            {
+            if after.is_empty() || after.starts_with(|c: char| !c.is_alphanumeric() && c != '_') {
                 self.pos += w.len();
                 return true;
             }
@@ -433,8 +428,7 @@ mod tests {
         ] {
             let p = Predicate::parse(src).unwrap();
             let shown = p.to_string();
-            let back = Predicate::parse(&shown)
-                .unwrap_or_else(|e| panic!("{src} -> {shown}: {e}"));
+            let back = Predicate::parse(&shown).unwrap_or_else(|e| panic!("{src} -> {shown}: {e}"));
             assert_eq!(back, p, "{src} -> {shown}");
         }
     }
@@ -453,7 +447,15 @@ mod tests {
 
     #[test]
     fn bad_predicates_rejected() {
-        for bad in ["", "price <", "< 10", "price ~ 10", "(a = 1", "a = 1 junk", "a = zz"] {
+        for bad in [
+            "",
+            "price <",
+            "< 10",
+            "price ~ 10",
+            "(a = 1",
+            "a = 1 junk",
+            "a = zz",
+        ] {
             assert!(Predicate::parse(bad).is_err(), "{bad}");
         }
     }
@@ -472,7 +474,13 @@ mod tests {
 
     #[test]
     fn agg_func_names_roundtrip() {
-        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
             assert_eq!(AggFunc::parse(f.name()), Some(f));
         }
         assert_eq!(AggFunc::parse("median"), None);

@@ -50,10 +50,9 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
     let leaf = prop_oneof![
         proptest::collection::vec(arb_item(), 0..3).prop_map(Plan::data),
         "[a-z]{1,8}".prop_map(|h| Plan::url(format!("http://{h}:9020/"))),
-        ("[A-Za-z]{1,6}", "[A-Za-z0-9-]{1,8}")
-            .prop_map(|(nid, nss)| Plan::Urn(crate::plan::UrnRef::new(
-                mqp_namespace::Urn::named(nid, nss)
-            ))),
+        ("[A-Za-z]{1,6}", "[A-Za-z0-9-]{1,8}").prop_map(|(nid, nss)| Plan::Urn(
+            crate::plan::UrnRef::new(mqp_namespace::Urn::named(nid, nss))
+        )),
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
@@ -66,15 +65,15 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
             ("[a-z]{1,4}", "[a-z]{1,4}", inner.clone(), inner.clone())
                 .prop_map(|(l, r, a, b)| Plan::join(JoinCond::on(&l, &r), a, b)),
             proptest::collection::vec(inner.clone(), 1..4).prop_map(Plan::union),
-            proptest::collection::vec(
-                (inner.clone(), proptest::option::of(0u32..120)),
-                1..3
-            )
-            .prop_map(|alts| Plan::Or(
-                alts.into_iter()
-                    .map(|(p, s)| OrAlt { plan: p, staleness: s })
-                    .collect()
-            )),
+            proptest::collection::vec((inner.clone(), proptest::option::of(0u32..120)), 1..3)
+                .prop_map(|alts| Plan::Or(
+                    alts.into_iter()
+                        .map(|(p, s)| OrAlt {
+                            plan: p,
+                            staleness: s
+                        })
+                        .collect()
+                )),
             (
                 proptest::sample::select(vec![
                     AggFunc::Count,
@@ -88,8 +87,7 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
                 .prop_map(|(f, i)| Plan::aggregate(f, Some("price"), i)),
             (1usize..20, any::<bool>(), inner.clone())
                 .prop_map(|(n, asc, i)| Plan::top_n(n, "price", asc, i)),
-            ("[a-z0-9.:]{1,12}", inner.clone())
-                .prop_map(|(t, i)| Plan::display(t, i)),
+            ("[a-z0-9.:]{1,12}", inner.clone()).prop_map(|(t, i)| Plan::display(t, i)),
         ]
     })
 }

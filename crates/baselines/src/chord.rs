@@ -22,8 +22,13 @@ const M: u32 = 64; // identifier bits
 enum Msg {
     /// One routing hop (24 bytes on the wire: key hash + origin).
     Lookup,
-    Store { key: String, holder: NodeId },
-    Reply { holders: Vec<NodeId> },
+    Store {
+        key: String,
+        holder: NodeId,
+    },
+    Reply {
+        holders: Vec<NodeId>,
+    },
 }
 
 fn msg_bytes(m: &Msg) -> usize {

@@ -105,11 +105,7 @@ impl Flooding {
         seen.insert(client);
         // The client "receives" the query at itself, then floods.
         let mut holders = Vec::new();
-        if self
-            .keys
-            .get(&client)
-            .is_some_and(|ks| ks.contains(key))
-        {
+        if self.keys.get(&client).is_some_and(|ks| ks.contains(key)) {
             holders.push(client);
         }
         for &nb in &self.neighbors[client].clone() {
@@ -129,11 +125,7 @@ impl Flooding {
                     if !seen.insert(d.to) {
                         continue; // duplicate suppression
                     }
-                    if self
-                        .keys
-                        .get(&d.to)
-                        .is_some_and(|ks| ks.contains(&key))
-                    {
+                    if self.keys.get(&d.to).is_some_and(|ks| ks.contains(&key)) {
                         let hit = Msg::Hit { holder: d.to };
                         let hb = msg_bytes(&hit);
                         self.net.send(d.to, origin, hb, hit);

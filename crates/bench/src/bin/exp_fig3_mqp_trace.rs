@@ -43,7 +43,11 @@ fn main() {
             .join("+");
         rows.push(vec![
             current.clone(),
-            if action.is_empty() { "—".into() } else { action },
+            if action.is_empty() {
+                "—".into()
+            } else {
+                action
+            },
             mqp.plan.node_count().to_string(),
             mqp.wire_size().to_string(),
             mqp.plan.urns().len().to_string(),
@@ -78,7 +82,14 @@ fn main() {
 
     print_table(
         "Figures 3-4: mutant query evaluation trace (CD search)",
-        &["server", "mutation", "plan nodes", "wire bytes", "URNs", "URLs"],
+        &[
+            "server",
+            "mutation",
+            "plan nodes",
+            "wire bytes",
+            "URNs",
+            "URLs",
+        ],
         &rows,
     );
 

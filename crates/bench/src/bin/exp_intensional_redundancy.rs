@@ -117,7 +117,9 @@ fn main() {
         InterestArea::parse(&[&["Portland", "*"]]),
     ));
     catalog.add_statement(
-        "base[Portland, *]@R >= base[Portland, *]@S{30}".parse().unwrap(),
+        "base[Portland, *]@R >= base[Portland, *]@S{30}"
+            .parse()
+            .unwrap(),
     );
     let binding = catalog.bind_area(&InterestArea::parse(&[&["Portland", "CDs"]]));
     println!("\nExample 3 binding for [Portland, CDs]:");

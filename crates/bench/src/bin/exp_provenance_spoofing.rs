@@ -50,9 +50,9 @@ fn trial(sources: usize, spoof_fraction: f64, seed: u64) -> (usize, usize, usize
         if malicious[i] {
             // Spoof: bind every other still-unresolved URL to empty data.
             loop {
-                let victim = mqp.plan.find_all(&|p| {
-                    matches!(p, Plan::Url(u) if u.href != format!("mqp://s{i}/"))
-                });
+                let victim = mqp
+                    .plan
+                    .find_all(&|p| matches!(p, Plan::Url(u) if u.href != format!("mqp://s{i}/")));
                 let Some(path) = victim.first() else { break };
                 mqp.plan.replace(path, Plan::data([])).unwrap();
                 spoofed += 1;

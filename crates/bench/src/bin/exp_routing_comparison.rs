@@ -68,19 +68,14 @@ fn main() {
                 lat.push(out.latency_us as f64 / 1000.0);
                 // Recall: items from every true holder? Approximate via
                 // sellers named in results.
-                let sellers_seen: std::collections::BTreeSet<String> = out
-                    .items
-                    .iter()
-                    .filter_map(|i| i.field("seller"))
-                    .collect();
+                let sellers_seen: std::collections::BTreeSet<String> =
+                    out.items.iter().filter_map(|i| i.field("seller")).collect();
                 let r = if truth.is_empty() {
                     1.0
                 } else {
                     truth
                         .iter()
-                        .filter(|t| {
-                            sellers_seen.contains(w.harness.peer(**t).id().as_str())
-                        })
+                        .filter(|t| sellers_seen.contains(w.harness.peer(**t).id().as_str()))
                         .count() as f64
                         / truth.len() as f64
                 };
@@ -108,7 +103,15 @@ fn main() {
                 recall.push(r.recall(&c.truth(&key(city, cat))));
             }
             let imb = c.stats().receive_imbalance();
-            rows.push(row("central (Napster)", n, &msgs, &bytes, &lat, &recall, imb));
+            rows.push(row(
+                "central (Napster)",
+                n,
+                &msgs,
+                &bytes,
+                &lat,
+                &recall,
+                imb,
+            ));
         }
 
         // --- Gnutella: flooding, horizon 4 ---

@@ -70,18 +70,20 @@ impl Binding {
     /// Chooses an alternative under the given preference.
     pub fn choose(&self, pref: Preference) -> Option<BindChoice> {
         let idx = match pref {
-            Preference::Current => self
-                .alternatives
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, a)| (a.staleness, a.fanout()))?
-                .0,
-            Preference::Fast => self
-                .alternatives
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, a)| (a.fanout(), a.staleness))?
-                .0,
+            Preference::Current => {
+                self.alternatives
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, a)| (a.staleness, a.fanout()))?
+                    .0
+            }
+            Preference::Fast => {
+                self.alternatives
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, a)| (a.fanout(), a.staleness))?
+                    .0
+            }
         };
         Some(BindChoice {
             index: idx,
@@ -121,8 +123,7 @@ fn alternative_plan(a: &BindingAlternative, area: &InterestArea) -> Plan {
         .map(|(s, level)| {
             let mut u = UrlRef::new(s.to_url());
             u.meta.set("level", level.name());
-            u.meta
-                .set("area", mqp_namespace::urn::encode_area(area));
+            u.meta.set("area", mqp_namespace::urn::encode_area(area));
             Plan::Url(u)
         })
         .collect();

@@ -188,8 +188,7 @@ mod tests {
     #[test]
     fn entry_builders() {
         let area = InterestArea::parse(&[&["USA/OR", "*"]]);
-        let e = CatalogEntry::index("idx-1", area.clone())
-            .authoritative();
+        let e = CatalogEntry::index("idx-1", area.clone()).authoritative();
         assert_eq!(e.level, Level::Index);
         assert!(e.authoritative);
         let b = CatalogEntry::base("seller", area).with_collection("/data[@id='245']");

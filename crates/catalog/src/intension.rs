@@ -212,8 +212,7 @@ fn split_union(input: &str) -> Vec<&str> {
             b'U' if depth == 0 => {
                 // Union token only when standing alone between spaces.
                 let before_ws = i == 0 || bytes[i - 1].is_ascii_whitespace();
-                let after_ws =
-                    i + 1 >= bytes.len() || bytes[i + 1].is_ascii_whitespace();
+                let after_ws = i + 1 >= bytes.len() || bytes[i + 1].is_ascii_whitespace();
                 if before_ws && after_ws {
                     parts.push(&input[start..i]);
                     start = i + 1;
@@ -232,8 +231,8 @@ fn parse_ref(src: &str) -> Result<HoldingRef, String> {
     let bracket = src
         .find('[')
         .ok_or_else(|| format!("missing '[' in {src:?}"))?;
-    let level = Level::parse(src[..bracket].trim())
-        .ok_or_else(|| format!("unknown level in {src:?}"))?;
+    let level =
+        Level::parse(src[..bracket].trim()).ok_or_else(|| format!("unknown level in {src:?}"))?;
     let close = src
         .rfind(']')
         .ok_or_else(|| format!("missing ']' in {src:?}"))?;
@@ -300,8 +299,7 @@ mod tests {
     fn parse_superset_with_delay() {
         // §4.3's example: R replicates S with up to 30 minutes lag.
         let s =
-            IntensionalStatement::parse("base[Portland, *]@R >= base[Portland, *]@S{30}")
-                .unwrap();
+            IntensionalStatement::parse("base[Portland, *]@R >= base[Portland, *]@S{30}").unwrap();
         assert_eq!(s.rel, Rel::Superset);
         assert_eq!(s.rhs[0].delay, 30);
         assert_eq!(s.lhs_staleness(), 30);
@@ -330,8 +328,8 @@ mod tests {
         ] {
             let s = IntensionalStatement::parse(src).unwrap();
             let shown = s.to_string();
-            let back = IntensionalStatement::parse(&shown)
-                .unwrap_or_else(|e| panic!("{shown}: {e}"));
+            let back =
+                IntensionalStatement::parse(&shown).unwrap_or_else(|e| panic!("{shown}: {e}"));
             assert_eq!(back, s, "{src} -> {shown}");
         }
     }
@@ -369,10 +367,9 @@ mod tests {
 
     #[test]
     fn spaces_in_categories_collapse() {
-        let s = IntensionalStatement::parse(
-            "index[Oregon, Golf Clubs]@R = base[Oregon, Golf Clubs]@S",
-        )
-        .unwrap();
+        let s =
+            IntensionalStatement::parse("index[Oregon, Golf Clubs]@R = base[Oregon, Golf Clubs]@S")
+                .unwrap();
         let cell = &s.lhs.area.cells()[0];
         assert_eq!(cell.coords()[1].to_string(), "GolfClubs");
     }

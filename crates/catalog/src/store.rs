@@ -85,12 +85,7 @@ impl Catalog {
     }
 
     /// Maps a named URN to a server (+ optional collection id).
-    pub fn map_urn(
-        &mut self,
-        urn: &str,
-        server: impl Into<ServerId>,
-        collection: Option<String>,
-    ) {
+    pub fn map_urn(&mut self, urn: &str, server: impl Into<ServerId>, collection: Option<String>) {
         let list = self.urn_map.entry(urn.to_owned()).or_default();
         let pair = (server.into(), collection);
         if !list.contains(&pair) {
@@ -360,7 +355,9 @@ mod tests {
         c.register(CatalogEntry::base("R", area(&[&["Portland", "*"]])));
         c.register(CatalogEntry::base("S", area(&[&["Portland", "*"]])));
         c.add_statement(
-            "base[Portland, *]@R >= base[Portland, *]@S{30}".parse().unwrap(),
+            "base[Portland, *]@R >= base[Portland, *]@S{30}"
+                .parse()
+                .unwrap(),
         );
         let q = area(&[&["Portland", "CDs"]]);
         let b = c.bind_area(&q);
@@ -428,7 +425,9 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].0.as_str(), "seller-1");
         assert_eq!(hits[0].1.as_deref(), Some("/data[@id='245']"));
-        assert!(c.resolve_named(&Urn::named("ForSale", "Nothing")).is_empty());
+        assert!(c
+            .resolve_named(&Urn::named("ForSale", "Nothing"))
+            .is_empty());
     }
 
     #[test]
@@ -455,9 +454,7 @@ mod tests {
     fn route_prefers_covering_authoritative_specific() {
         let mut c = Catalog::new();
         c.register(CatalogEntry::meta_index("broad", area(&[&["*", "*"]])));
-        c.register(
-            CatalogEntry::meta_index("usa", area(&[&["USA", "*"]])).authoritative(),
-        );
+        c.register(CatalogEntry::meta_index("usa", area(&[&["USA", "*"]])).authoritative());
         c.register(CatalogEntry::index(
             "or-music",
             area(&[&["USA/OR", "Music"]]),
@@ -467,7 +464,9 @@ mod tests {
         assert_eq!(c.route_for(&q, &[]).unwrap().as_str(), "or-music");
         // Excluding it falls back to the authoritative USA meta-index.
         assert_eq!(
-            c.route_for(&q, &[ServerId::new("or-music")]).unwrap().as_str(),
+            c.route_for(&q, &[ServerId::new("or-music")])
+                .unwrap()
+                .as_str(),
             "usa"
         );
         // Excluding both leaves the broad one.
@@ -508,7 +507,9 @@ mod tests {
         assert_eq!(c.route_for(&q, &[]).unwrap().as_str(), "fastpath");
         // Excluded cache entry falls through to catalog entries.
         assert_eq!(
-            c.route_for(&q, &[ServerId::new("fastpath")]).unwrap().as_str(),
+            c.route_for(&q, &[ServerId::new("fastpath")])
+                .unwrap()
+                .as_str(),
             "idx"
         );
     }

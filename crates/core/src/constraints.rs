@@ -39,10 +39,7 @@ impl Constraints {
     }
 
     /// Restricts routing to the given servers; returns `self`.
-    pub fn allow_only<S: Into<ServerId>>(
-        mut self,
-        servers: impl IntoIterator<Item = S>,
-    ) -> Self {
+    pub fn allow_only<S: Into<ServerId>>(mut self, servers: impl IntoIterator<Item = S>) -> Self {
         self.allowed_servers = servers.into_iter().map(Into::into).collect();
         self
     }
@@ -134,7 +131,10 @@ mod tests {
     fn ordering_policy_blocks_until_first_bound() {
         // "Do not bind preferences until playlist is bound."
         let c = Constraints::none().bind_after("urn:CD:Playlist", "urn:My:Preferences");
-        let both_unbound = vec!["urn:CD:Playlist".to_owned(), "urn:My:Preferences".to_owned()];
+        let both_unbound = vec![
+            "urn:CD:Playlist".to_owned(),
+            "urn:My:Preferences".to_owned(),
+        ];
         assert!(!c.may_bind("urn:My:Preferences", &both_unbound));
         assert!(c.may_bind("urn:CD:Playlist", &both_unbound));
         // Once the playlist is bound, preferences may bind.

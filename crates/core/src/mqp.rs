@@ -79,7 +79,11 @@ impl Mqp {
 
     /// Worst-case staleness of any information used so far (minutes).
     pub fn staleness(&self) -> u32 {
-        self.provenance.iter().map(|v| v.staleness).max().unwrap_or(0)
+        self.provenance
+            .iter()
+            .map(|v| v.staleness)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Serializes the envelope to XML.
@@ -122,9 +126,7 @@ impl Mqp {
         let mut provenance = Vec::new();
         if let Some(prov) = e.first("provenance") {
             for v in prov.child_elements() {
-                provenance.push(
-                    VisitRecord::from_xml(v).ok_or_else(|| bad("bad <visit> record"))?,
-                );
+                provenance.push(VisitRecord::from_xml(v).ok_or_else(|| bad("bad <visit> record"))?);
             }
         }
         let constraints = match e.first("constraints") {
@@ -213,8 +215,7 @@ mod tests {
                 staleness: 0,
             });
         }
-        let visited: Vec<String> =
-            m.visited().iter().map(|s| s.as_str().to_owned()).collect();
+        let visited: Vec<String> = m.visited().iter().map(|s| s.as_str().to_owned()).collect();
         assert_eq!(visited, ["meta-usa", "a", "b"]);
     }
 

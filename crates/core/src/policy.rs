@@ -106,10 +106,7 @@ impl Policy {
                 Preference::Fast => (fanout(&a.plan) as u32, staleness(a), i as u32),
             }
         };
-        eligible
-            .into_iter()
-            .min_by_key(|&i| key(i))
-            .unwrap_or(0)
+        eligible.into_iter().min_by_key(|&i| key(i)).unwrap_or(0)
     }
 }
 

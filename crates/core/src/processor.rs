@@ -174,9 +174,7 @@ impl Processor {
         let me = ctx.id();
         let mut bound = 0;
         loop {
-            let urn_paths = mqp
-                .plan
-                .find_all(&|p| matches!(p, Plan::Urn(_)));
+            let urn_paths = mqp.plan.find_all(&|p| matches!(p, Plan::Urn(_)));
             let mut progressed = false;
             let unbound: Vec<String> = mqp.plan.urns().iter().map(|u| u.urn.to_string()).collect();
             for path in urn_paths {
@@ -276,8 +274,7 @@ impl Processor {
                 }
                 // Name every source the reduction consumed so
                 // provenance audits (§5.1) can account for them.
-                let mut sources: Vec<String> =
-                    sub.urls().iter().map(|u| u.href.clone()).collect();
+                let mut sources: Vec<String> = sub.urls().iter().map(|u| u.href.clone()).collect();
                 sources.extend(sub.urns().iter().map(|u| u.urn.to_string()));
                 let detail = if sources.is_empty() {
                     format!("reduced {} at {path}", sub.op_name())
@@ -529,10 +526,7 @@ mod tests {
             other => panic!("expected Complete, got {other:?}"),
         }
         // Provenance shows the reduction.
-        assert!(mqp
-            .provenance
-            .iter()
-            .any(|v| v.action == Action::Evaluated));
+        assert!(mqp.provenance.iter().any(|v| v.action == Action::Evaluated));
     }
 
     #[test]
@@ -717,7 +711,10 @@ mod tests {
         let ctx = TestCtx::new("s")
             .with_local(
                 "mqp://s/songs",
-                &["<song><album>A1</album></song>", "<song><album>A2</album></song>"],
+                &[
+                    "<song><album>A1</album></song>",
+                    "<song><album>A2</album></song>",
+                ],
             )
             .with_local(
                 "mqp://s/cds",

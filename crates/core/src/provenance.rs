@@ -174,10 +174,7 @@ mod tests {
     fn spoofed_source_detected() {
         // Original plan unions A (at S) and B (at T). S binds A but
         // spoofs B to empty without visiting T.
-        let original = Plan::union([
-            Plan::urn("urn:Data:A"),
-            Plan::urn("urn:Data:B"),
-        ]);
+        let original = Plan::union([Plan::urn("urn:Data:A"), Plan::urn("urn:Data:B")]);
         let visits = vec![
             visit("S", Action::Bound, "urn:Data:A -> mqp://S/"),
             visit("S", Action::Evaluated, "reduced urn:Data:A"),
@@ -218,7 +215,13 @@ mod tests {
         assert_eq!(q.target(), Some("agency:9020"));
         match q {
             Plan::Display { input, .. } => {
-                assert!(matches!(*input, Plan::Aggregate { func: AggFunc::Count, .. }));
+                assert!(matches!(
+                    *input,
+                    Plan::Aggregate {
+                        func: AggFunc::Count,
+                        ..
+                    }
+                ));
             }
             _ => panic!("expected display"),
         }

@@ -122,7 +122,10 @@ pub fn commit_or(plan: &mut Plan, choose: &impl Fn(&[OrAlt]) -> usize) -> usize 
     let mut count = 0;
     if let Plan::Or(alts) = plan {
         let idx = choose(alts).min(alts.len().saturating_sub(1));
-        let chosen = std::mem::take(alts).into_iter().nth(idx).expect("or non-empty");
+        let chosen = std::mem::take(alts)
+            .into_iter()
+            .nth(idx)
+            .expect("or non-empty");
         *plan = chosen.plan;
         count += 1;
     }
@@ -153,7 +156,12 @@ pub fn absorb(plan: &mut Plan, is_local: &impl Fn(&Plan) -> bool) -> usize {
     for c in plan.children_mut() {
         count += absorb(c, is_local);
     }
-    let Plan::Join { on: on2, left, right } = plan else {
+    let Plan::Join {
+        on: on2,
+        left,
+        right,
+    } = plan
+    else {
         return count;
     };
     if !is_local(right) {
@@ -233,10 +241,7 @@ pub fn absorb(plan: &mut Plan, is_local: &impl Fn(&Plan) -> bool) -> usize {
 fn data_item_name(p: &Plan) -> Option<String> {
     let items = p.as_data()?;
     let first = items.first()?.name().to_owned();
-    items
-        .iter()
-        .all(|i| i.name() == first)
-        .then_some(first)
+    items.iter().all(|i| i.name() == first).then_some(first)
 }
 
 fn first_segment(path: &mqp_xml::xpath::Path) -> Option<&str> {
@@ -472,9 +477,7 @@ mod tests {
             b.clone(),
         );
         let mut rewritten = original.clone();
-        let always_local_except_x = |pl: &Plan| {
-            !matches!(pl, Plan::Data { items, .. } if items.first().map(|i| i.name()) == Some("x"))
-        };
+        let always_local_except_x = |pl: &Plan| !matches!(pl, Plan::Data { items, .. } if items.first().map(|i| i.name()) == Some("x"));
         absorb(&mut rewritten, &always_local_except_x);
         let before = eval_const(&original).unwrap();
         let after = eval_const(&rewritten).unwrap();

@@ -96,10 +96,10 @@ pub fn estimate(plan: &Plan) -> Estimate {
         }
         // The policy manager will pick one alternative; until then assume
         // the first (preferred) one.
-        Plan::Or(alts) => alts
-            .first()
-            .map(|a| estimate(&a.plan))
-            .unwrap_or(Estimate { rows: 0.0, bytes: 0.0 }),
+        Plan::Or(alts) => alts.first().map(|a| estimate(&a.plan)).unwrap_or(Estimate {
+            rows: 0.0,
+            bytes: 0.0,
+        }),
         Plan::Aggregate { func, .. } => Estimate {
             rows: 1.0,
             bytes: match func {
@@ -121,9 +121,7 @@ pub fn estimate(plan: &Plan) -> Estimate {
 
 fn leaf_estimate(cardinality: Option<u64>, bytes: Option<u64>) -> Estimate {
     let rows = cardinality.map(|c| c as f64).unwrap_or(DEFAULT_REMOTE_ROWS);
-    let bytes = bytes
-        .map(|b| b as f64)
-        .unwrap_or(rows * DEFAULT_ITEM_BYTES);
+    let bytes = bytes.map(|b| b as f64).unwrap_or(rows * DEFAULT_ITEM_BYTES);
     Estimate { rows, bytes }
 }
 

@@ -160,12 +160,11 @@ fn hash_join(
     right_path: &Path,
 ) -> Vec<Element> {
     // Build on the smaller side.
-    let (build, probe, build_path, probe_path, build_is_left) =
-        if left.len() <= right.len() {
-            (left, right, left_path, right_path, true)
-        } else {
-            (right, left, right_path, left_path, false)
-        };
+    let (build, probe, build_path, probe_path, build_is_left) = if left.len() <= right.len() {
+        (left, right, left_path, right_path, true)
+    } else {
+        (right, left, right_path, left_path, false)
+    };
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
     for (i, item) in build.iter().enumerate() {
         let mut seen = Vec::new();
@@ -339,9 +338,7 @@ mod tests {
 
     #[test]
     fn join_matches_keys() {
-        let songs = items(&[
-            "<song><title>Kashmir</title><album>Physical Graffiti</album></song>",
-        ]);
+        let songs = items(&["<song><title>Kashmir</title><album>Physical Graffiti</album></song>"]);
         let p = Plan::join(
             JoinCond::on("song/album", "item/title"),
             Plan::data(songs),
@@ -410,14 +407,11 @@ mod tests {
         let count = eval_const(&Plan::aggregate(AggFunc::Count, None, d.clone())).unwrap();
         assert_eq!(count[0].name(), "count");
         assert_eq!(count[0].deep_text(), "3");
-        let sum =
-            eval_const(&Plan::aggregate(AggFunc::Sum, Some("price"), d.clone())).unwrap();
+        let sum = eval_const(&Plan::aggregate(AggFunc::Sum, Some("price"), d.clone())).unwrap();
         assert_eq!(sum[0].deep_text(), "29.5");
-        let min =
-            eval_const(&Plan::aggregate(AggFunc::Min, Some("price"), d.clone())).unwrap();
+        let min = eval_const(&Plan::aggregate(AggFunc::Min, Some("price"), d.clone())).unwrap();
         assert_eq!(min[0].deep_text(), "8");
-        let max =
-            eval_const(&Plan::aggregate(AggFunc::Max, Some("price"), d.clone())).unwrap();
+        let max = eval_const(&Plan::aggregate(AggFunc::Max, Some("price"), d.clone())).unwrap();
         assert_eq!(max[0].deep_text(), "12");
         let avg = eval_const(&Plan::aggregate(AggFunc::Avg, Some("price"), d)).unwrap();
         let v: f64 = avg[0].deep_text().parse().unwrap();
@@ -426,11 +420,9 @@ mod tests {
 
     #[test]
     fn aggregate_empty_input() {
-        let count =
-            eval_const(&Plan::aggregate(AggFunc::Count, None, Plan::data([]))).unwrap();
+        let count = eval_const(&Plan::aggregate(AggFunc::Count, None, Plan::data([]))).unwrap();
         assert_eq!(count[0].deep_text(), "0");
-        let min =
-            eval_const(&Plan::aggregate(AggFunc::Min, Some("x"), Plan::data([]))).unwrap();
+        let min = eval_const(&Plan::aggregate(AggFunc::Min, Some("x"), Plan::data([]))).unwrap();
         assert_eq!(min[0].deep_text(), "");
     }
 

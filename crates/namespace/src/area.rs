@@ -41,8 +41,7 @@ impl Cell {
     /// category of `x` is a parent of, or the same as, that of `y`.
     /// Cells of different arity never cover each other.
     pub fn covers(&self, other: &Cell) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a.covers(b))
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a.covers(b))
     }
 
     /// The intersection cell, if the two cells share any coordinates:
@@ -355,7 +354,8 @@ mod tests {
             Hierarchy::new("Location").with(["USA/OR/Portland"]),
             Hierarchy::new("Merchandise").with(["Furniture/Chairs"]),
         ]);
-        let area = InterestArea::parse(&[&["USA/OR/Portland/Hawthorne", "Furniture/Chairs/Recliners"]]);
+        let area =
+            InterestArea::parse(&[&["USA/OR/Portland/Hawthorne", "Furniture/Chairs/Recliners"]]);
         assert!(!area.valid_in(&ns));
         let g = area.generalize_to_known(&ns);
         assert!(g.valid_in(&ns));

@@ -260,7 +260,11 @@ impl Hierarchy {
 
     /// Maximum depth of any category.
     pub fn max_depth(&self) -> usize {
-        self.children.keys().map(CategoryPath::depth).max().unwrap_or(0)
+        self.children
+            .keys()
+            .map(CategoryPath::depth)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -407,7 +411,10 @@ mod tests {
     fn generalize_to_known_walks_up() {
         let h = location();
         let unknown: CategoryPath = "USA/OR/Portland/Hawthorne".into();
-        assert_eq!(h.generalize_to_known(&unknown).to_string(), "USA/OR/Portland");
+        assert_eq!(
+            h.generalize_to_known(&unknown).to_string(),
+            "USA/OR/Portland"
+        );
         let alien: CategoryPath = "Atlantis/Deep".into();
         assert!(h.generalize_to_known(&alien).is_top());
     }
@@ -422,7 +429,10 @@ mod tests {
 
     #[test]
     fn namespace_lookup() {
-        let ns = Namespace::new([location(), Hierarchy::new("Merchandise").with(["Furniture/Chairs"])]);
+        let ns = Namespace::new([
+            location(),
+            Hierarchy::new("Merchandise").with(["Furniture/Chairs"]),
+        ]);
         assert_eq!(ns.arity(), 2);
         assert_eq!(ns.dimension_index("Merchandise"), Some(1));
         assert!(ns.dimension("Absent").is_none());

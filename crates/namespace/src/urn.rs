@@ -200,10 +200,7 @@ mod tests {
     #[test]
     fn named_urn_roundtrip() {
         let urn = Urn::parse("urn:ForSale:Portland-CDs").unwrap();
-        assert_eq!(
-            urn,
-            Urn::named("ForSale", "Portland-CDs")
-        );
+        assert_eq!(urn, Urn::named("ForSale", "Portland-CDs"));
         assert_eq!(urn.to_string(), "urn:ForSale:Portland-CDs");
         assert!(urn.as_area().is_none());
     }
@@ -233,11 +230,11 @@ mod tests {
     fn bad_area_specs_rejected() {
         for bad in [
             "urn:InterestArea:",
-            "urn:InterestArea:USA",          // missing parens
-            "urn:InterestArea:()",           // empty cell
-            "urn:InterestArea:(USA)(FR)",    // missing +
-            "urn:InterestArea:(USA..OR)",    // empty level
-            "urn:InterestArea:(USA,)",       // empty coordinate
+            "urn:InterestArea:USA",           // missing parens
+            "urn:InterestArea:()",            // empty cell
+            "urn:InterestArea:(USA)(FR)",     // missing +
+            "urn:InterestArea:(USA..OR)",     // empty level
+            "urn:InterestArea:(USA,)",        // empty coordinate
             "urn:InterestArea:(USA)+(USA,X)", // arity mismatch
         ] {
             assert!(Urn::parse(bad).is_err(), "{bad}");
@@ -247,8 +244,7 @@ mod tests {
     #[test]
     fn encode_canonicalizes() {
         // A dominated cell disappears in the parsed area.
-        let urn =
-            Urn::parse("urn:InterestArea:(USA,Furniture)+(USA.OR,Furniture.Chairs)").unwrap();
+        let urn = Urn::parse("urn:InterestArea:(USA,Furniture)+(USA.OR,Furniture.Chairs)").unwrap();
         assert_eq!(urn.as_area().unwrap().cells().len(), 1);
     }
 

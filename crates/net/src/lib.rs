@@ -15,7 +15,7 @@
 //!   to a down node are counted and dropped, which is how the
 //!   availability experiments exercise the "R may be unavailable"
 //!   scenario of §4.2 Example 3.
-//! * [`threaded`] — a small crossbeam-channel transport used by the
+//! * [`threaded`] — a small `std::sync::mpsc` transport used by the
 //!   live (non-simulated) examples, so the same peer code can run on
 //!   real OS threads.
 

@@ -50,7 +50,10 @@ impl NetStats {
         if mean == 0.0 {
             return 0.0;
         }
-        self.hottest_receiver().map(|(_, r)| r as f64).unwrap_or(0.0) / mean
+        self.hottest_receiver()
+            .map(|(_, r)| r as f64)
+            .unwrap_or(0.0)
+            / mean
     }
 }
 

@@ -1,9 +1,9 @@
-//! A small in-process transport over crossbeam channels, for running
-//! peers on real OS threads (the live examples). Same shape as the
-//! simulator's API — `send(from, to, bytes, payload)` / blocking
+//! A small in-process transport over `std::sync::mpsc` channels, for
+//! running peers on real OS threads (the live examples). Same shape as
+//! the simulator's API — `send(from, to, bytes, payload)` / blocking
 //! receive — so peer logic is transport-agnostic.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::time::Duration;
 
 use crate::topology::NodeId;

@@ -165,10 +165,7 @@ impl SimHarness {
             // announces it indexes the base server's area (so the base
             // peer learns a route), and the base server replies with
             // its entry.
-            let intro = CatalogEntry::index(
-                self.peers[index].id().clone(),
-                entry.area.clone(),
-            );
+            let intro = CatalogEntry::index(self.peers[index].id().clone(), entry.area.clone());
             self.send_registration(index, node, intro);
             self.send_registration(node, index, entry);
             pulled += 1;
@@ -273,8 +270,7 @@ impl SimHarness {
                     }
                     None => (None, ()),
                 };
-                let items_xml: String =
-                    items.iter().map(mqp_xml::serialize).collect::<String>();
+                let items_xml: String = items.iter().map(mqp_xml::serialize).collect::<String>();
                 match (client_node, qid) {
                     (Some(client), Some(qid)) => {
                         let msg = PeerMsg::Result {
@@ -439,11 +435,7 @@ mod tests {
         assert_eq!(q.qid, qid);
         assert!(q.failure.is_none(), "{:?}", q.failure);
         // Cheap CDs from both sellers.
-        let mut titles: Vec<String> = q
-            .items
-            .iter()
-            .filter_map(|i| i.field("title"))
-            .collect();
+        let mut titles: Vec<String> = q.items.iter().filter_map(|i| i.field("title")).collect();
         titles.sort();
         assert_eq!(titles, ["A", "C"]);
         // Path: client → meta (bind) → seller → seller → client result.
@@ -484,7 +476,12 @@ mod tests {
         assert!(first.failure.is_none() && second.failure.is_none());
         // The client learned the completing server; the second query
         // skips ahead (strictly fewer or equal hops, and must not grow).
-        assert!(second.hops <= first.hops, "{} > {}", second.hops, first.hops);
+        assert!(
+            second.hops <= first.hops,
+            "{} > {}",
+            second.hops,
+            first.hops
+        );
     }
 
     #[test]

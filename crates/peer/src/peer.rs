@@ -200,11 +200,7 @@ impl ServerContext for Peer {
             Urn::InterestArea(area) => {
                 let binding = self.catalog.bind_area(area);
                 let plan = binding.to_plan()?;
-                let detail = format!(
-                    "{} alternative(s) for {}",
-                    binding.alternatives.len(),
-                    area
-                );
+                let detail = format!("{} alternative(s) for {}", binding.alternatives.len(), area);
                 Some((plan, detail, 0))
             }
         }
@@ -333,10 +329,7 @@ mod tests {
     fn routing_prefers_remote_url() {
         let p = Peer::new("router", ns()).with_default_route("bootstrap");
         let plan = Plan::select("true", Plan::url("mqp://target/"));
-        assert_eq!(
-            p.route(&plan, &[]).unwrap(),
-            ServerId::new("target")
-        );
+        assert_eq!(p.route(&plan, &[]).unwrap(), ServerId::new("target"));
         // Visited target falls through to default route.
         assert_eq!(
             p.route(&plan, &[ServerId::new("target")]).unwrap(),

@@ -33,8 +33,7 @@ impl LocalStore {
 
     /// Adds (or replaces) a collection.
     pub fn put(&mut self, collection: Collection) {
-        self.collections
-            .insert(collection.name.clone(), collection);
+        self.collections.insert(collection.name.clone(), collection);
     }
 
     /// Appends items to an existing collection (creating it with the
@@ -108,11 +107,7 @@ impl LocalStore {
                         doc.push_child(mqp_xml::Node::Element(i.clone()));
                     }
                 }
-                let sel: Vec<Element> = path
-                    .select_elements(&doc)
-                    .into_iter()
-                    .cloned()
-                    .collect();
+                let sel: Vec<Element> = path.select_elements(&doc).into_iter().cloned().collect();
                 Some(sel)
             }
         }
@@ -213,7 +208,11 @@ mod tests {
     fn extend_unions_area() {
         let mut s = store();
         let more = InterestArea::parse(&[&["USA/OR/Eugene", "Music/CDs"]]);
-        s.extend("cds", &more, [parse("<item><title>C</title></item>").unwrap()]);
+        s.extend(
+            "cds",
+            &more,
+            [parse("<item><title>C</title></item>").unwrap()],
+        );
         assert_eq!(s.get("cds").unwrap().items.len(), 3);
         assert!(s.get("cds").unwrap().area.overlaps(&more));
     }

@@ -106,7 +106,8 @@ pub fn build(config: CdConfig) -> CdWorld {
     let mut peers = Vec::new();
     peers.push(Peer::new("client", ns.clone()).with_default_route("meta"));
     let mut meta = Peer::new("meta", ns.clone());
-    meta.catalog_mut().map_urn("urn:CD:TrackListings", "trackdb", None);
+    meta.catalog_mut()
+        .map_urn("urn:CD:TrackListings", "trackdb", None);
     peers.push(meta);
     let mut trackdb = Peer::new("trackdb", ns.clone());
     trackdb.add_collection("tracks", pdx_cds(), tracks);

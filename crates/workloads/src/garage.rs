@@ -134,11 +134,8 @@ pub fn build(config: GarageConfig) -> GarageWorld {
             let mc = if m % 2 == 0 { "USA" } else { "France" };
             if mc == country {
                 peers[1 + m].catalog_mut().register(
-                    CatalogEntry::index(
-                        format!("index-{i}"),
-                        InterestArea::parse(&[&[city, "*"]]),
-                    )
-                    .authoritative(),
+                    CatalogEntry::index(format!("index-{i}"), InterestArea::parse(&[&[city, "*"]]))
+                        .authoritative(),
                 );
             }
         }
@@ -202,7 +199,7 @@ pub fn build(config: GarageConfig) -> GarageWorld {
 
 fn item(rng: &mut StdRng, seller: &str, city: &str, category: &str, i: usize) -> Element {
     let price = (rng.gen_range(100..20_000) as f64) / 100.0;
-    let condition = ["mint", "good", "fair", "poor"][rng.gen_range(0..4)];
+    let condition = ["mint", "good", "fair", "poor"][rng.gen_range(0..4usize)];
     Element::new("item")
         .child(Element::new("name").text(format!(
             "{} #{i}",

@@ -110,8 +110,7 @@ pub fn build(records_per_group: usize) -> (SimHarness, usize) {
     peers.push(Peer::new("client", ns.clone()).with_default_route("nih-meta"));
     let mut meta = Peer::new("nih-meta", ns.clone());
     for (name, area) in group_areas() {
-        meta.catalog_mut()
-            .register(CatalogEntry::base(name, area));
+        meta.catalog_mut().register(CatalogEntry::base(name, area));
     }
     peers.push(meta);
     for (name, area) in group_areas() {
@@ -128,11 +127,7 @@ pub fn build(records_per_group: usize) -> (SimHarness, usize) {
             let items: Vec<Element> = (0..records_per_group)
                 .map(|i| expression_record(name, &organism, &cell_type, i * (ci + 1)))
                 .collect();
-            lab.add_collection(
-                &format!("expr-{ci}"),
-                InterestArea::of(cell.clone()),
-                items,
-            );
+            lab.add_collection(&format!("expr-{ci}"), InterestArea::of(cell.clone()), items);
         }
         peers.push(lab);
     }

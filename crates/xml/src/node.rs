@@ -114,8 +114,7 @@ impl Element {
 
     /// Appends many element children; returns `self` for chaining.
     pub fn children_from(mut self, iter: impl IntoIterator<Item = Element>) -> Self {
-        self.children
-            .extend(iter.into_iter().map(Node::Element));
+        self.children.extend(iter.into_iter().map(Node::Element));
         self
     }
 
@@ -293,11 +292,11 @@ impl Element {
 pub(crate) fn escaped_len(s: &str, in_attr: bool) -> usize {
     s.chars()
         .map(|c| match c {
-            '&' => 5,                   // &amp;
-            '<' => 4,                   // &lt;
-            '>' => 4,                   // &gt;
-            '"' if in_attr => 6,        // &quot;
-            '\'' if in_attr => 6,       // &apos;
+            '&' => 5,             // &amp;
+            '<' => 4,             // &lt;
+            '>' => 4,             // &gt;
+            '"' if in_attr => 6,  // &quot;
+            '\'' if in_attr => 6, // &apos;
             c => c.len_utf8(),
         })
         .sum()
@@ -364,9 +363,7 @@ mod tests {
     fn serialized_len_matches_serializer() {
         let e = sample();
         assert_eq!(e.serialized_len(), crate::serialize(&e).len());
-        let tricky = Element::new("t")
-            .attr("q", "a\"b'c<d>e&f")
-            .text("x<y>&z");
+        let tricky = Element::new("t").attr("q", "a\"b'c<d>e&f").text("x<y>&z");
         assert_eq!(tricky.serialized_len(), crate::serialize(&tricky).len());
         let empty = Element::new("e").attr("a", "1");
         assert_eq!(empty.serialized_len(), crate::serialize(&empty).len());

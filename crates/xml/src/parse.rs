@@ -405,8 +405,8 @@ mod tests {
 
     #[test]
     fn comments_and_pis_skipped() {
-        let e = parse("<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><b/><?pi data?></a>")
-            .unwrap();
+        let e =
+            parse("<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><b/><?pi data?></a>").unwrap();
         assert_eq!(e.child_elements().count(), 1);
     }
 

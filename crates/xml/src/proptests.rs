@@ -19,15 +19,17 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_element() -> impl Strategy<Value = Element> {
-    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3)).prop_map(
-        |(name, attrs)| {
+    let leaf = (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_text()), 0..3),
+    )
+        .prop_map(|(name, attrs)| {
             let mut e = Element::new(name);
             for (n, v) in attrs {
                 e.set_attr(n, v); // set_attr dedups names
             }
             e
-        },
-    );
+        });
     leaf.prop_recursive(3, 24, 4, move |inner| {
         (
             arb_name(),

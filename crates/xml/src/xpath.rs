@@ -507,7 +507,10 @@ mod tests {
     fn absolute_with_attr_predicate() {
         let d = doc();
         assert_eq!(
-            Path::parse("/data[@id='245']").unwrap().select_elements(&d).len(),
+            Path::parse("/data[@id='245']")
+                .unwrap()
+                .select_elements(&d)
+                .len(),
             1
         );
         assert!(Path::parse("/data[@id='999']")

@@ -16,7 +16,11 @@ fn main() {
     for (name, area) in group_areas() {
         println!(
             "  {name:<12} overlaps query: {}",
-            if area.overlaps(&q) { "yes — route here" } else { "no — skip" }
+            if area.overlaps(&q) {
+                "yes — route here"
+            } else {
+                "no — skip"
+            }
         );
     }
 

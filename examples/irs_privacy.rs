@@ -57,10 +57,7 @@ fn main() {
     );
     println!("the agency's MQP:\n{plan}\n");
 
-    let mut harness = SimHarness::new(
-        Topology::uniform(3, 20_000),
-        vec![agency, irs, state],
-    );
+    let mut harness = SimHarness::new(Topology::uniform(3, 20_000), vec![agency, irs, state]);
     let qid = harness.submit(0, plan);
     harness.run(10_000);
 

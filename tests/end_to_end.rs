@@ -48,10 +48,7 @@ fn currency_vs_latency_tradeoff() {
                 .parse()
                 .unwrap(),
         );
-        let mut h = SimHarness::new(
-            Topology::uniform(4, 10_000),
-            vec![client, meta, r, s],
-        );
+        let mut h = SimHarness::new(Topology::uniform(4, 10_000), vec![client, meta, r, s]);
         let plan = Plan::Urn(UrnRef::new(Urn::area(pdx_cds())));
         h.submit(0, plan);
         h.run(10_000);
@@ -71,7 +68,12 @@ fn currency_vs_latency_tradeoff() {
     assert!(titles(&current).contains(&"new-at-s".to_owned()));
     // Fast takes the single-site alternative (R only): fewer hops, and
     // misses what R has not yet replicated.
-    assert!(fast.hops < current.hops, "{} !< {}", fast.hops, current.hops);
+    assert!(
+        fast.hops < current.hops,
+        "{} !< {}",
+        fast.hops,
+        current.hops
+    );
     assert!(!titles(&fast).contains(&"new-at-s".to_owned()));
 }
 
@@ -85,15 +87,17 @@ fn intensional_statement_cuts_fanout() {
             .with_policy(Policy::fast());
         let mut meta = Peer::new("meta", ns()).with_policy(Policy::fast());
         let mut r = Peer::new("R", ns());
-        r.add_collection("golf", InterestArea::of(Cell::parse([
-            "USA/OR/Portland",
-            "SportingGoods/GolfClubs",
-        ])), [cd("putter", 30.0)]);
+        r.add_collection(
+            "golf",
+            InterestArea::of(Cell::parse(["USA/OR/Portland", "SportingGoods/GolfClubs"])),
+            [cd("putter", 30.0)],
+        );
         let mut s = Peer::new("S", ns());
-        s.add_collection("golf", InterestArea::of(Cell::parse([
-            "USA/OR/Portland",
-            "SportingGoods/GolfClubs",
-        ])), [cd("putter", 30.0)]);
+        s.add_collection(
+            "golf",
+            InterestArea::of(Cell::parse(["USA/OR/Portland", "SportingGoods/GolfClubs"])),
+            [cd("putter", 30.0)],
+        );
         meta.catalog_mut().register(r.base_entry());
         meta.catalog_mut().register(s.base_entry());
         if with_statement {
@@ -104,14 +108,8 @@ fn intensional_statement_cuts_fanout() {
                     .unwrap(),
             );
         }
-        let mut h = SimHarness::new(
-            Topology::uniform(4, 10_000),
-            vec![client, meta, r, s],
-        );
-        let area = InterestArea::of(Cell::parse([
-            "USA/OR/Portland",
-            "SportingGoods/GolfClubs",
-        ]));
+        let mut h = SimHarness::new(Topology::uniform(4, 10_000), vec![client, meta, r, s]);
+        let area = InterestArea::of(Cell::parse(["USA/OR/Portland", "SportingGoods/GolfClubs"]));
         h.submit(0, Plan::Urn(UrnRef::new(Urn::area(area))));
         h.run(10_000);
         h.take_completed().pop().unwrap()
@@ -119,7 +117,12 @@ fn intensional_statement_cuts_fanout() {
     let without = run(false);
     let with = run(true);
     assert!(without.failure.is_none() && with.failure.is_none());
-    assert!(with.hops < without.hops, "{} !< {}", with.hops, without.hops);
+    assert!(
+        with.hops < without.hops,
+        "{} !< {}",
+        with.hops,
+        without.hops
+    );
     // Either way the answer is non-empty (R replicates S exactly).
     assert!(!with.items.is_empty());
 }
@@ -130,10 +133,7 @@ fn intensional_statement_cuts_fanout() {
 #[test]
 fn provenance_audit_detects_spoofing() {
     // Honest run first.
-    let original = Plan::union([
-        Plan::url("mqp://S/"),
-        Plan::url("mqp://T/"),
-    ]);
+    let original = Plan::union([Plan::url("mqp://S/"), Plan::url("mqp://T/")]);
     let mut honest = Mqp::new(Plan::display("client#0", original.clone()));
 
     let mut s = Peer::new("S", ns());
@@ -151,11 +151,7 @@ fn provenance_audit_detects_spoofing() {
         Outcome::Complete { items, .. } => assert_eq!(items.len(), 2),
         other => panic!("expected complete, got {other:?}"),
     }
-    assert!(unaccounted_sources(
-        honest.original.as_ref().unwrap(),
-        &honest.provenance
-    )
-    .is_empty());
+    assert!(unaccounted_sources(honest.original.as_ref().unwrap(), &honest.provenance).is_empty());
 
     // Spoofed run: S binds T's source to empty data without visiting T.
     let mut spoofed = Mqp::new(Plan::display("client#0", original));
@@ -170,10 +166,7 @@ fn provenance_audit_detects_spoofing() {
         Outcome::Complete { items, .. } => assert_eq!(items.len(), 1), // T's data gone
         other => panic!("expected complete, got {other:?}"),
     }
-    let missing = unaccounted_sources(
-        spoofed.original.as_ref().unwrap(),
-        &spoofed.provenance,
-    );
+    let missing = unaccounted_sources(spoofed.original.as_ref().unwrap(), &spoofed.provenance);
     assert_eq!(missing, vec!["mqp://T/".to_owned()]);
 
     // The verification query against T (count of the spoofed source)
@@ -198,17 +191,13 @@ fn index_level_binding_continues_resolution() {
     let client = Peer::new("client", ns()).with_default_route("meta");
     let mut meta = Peer::new("meta", ns());
     // The meta server knows only the index server's coverage statement.
-    meta.catalog_mut().register(
-        CatalogEntry::index("idx", pdx_cds()).authoritative(),
-    );
+    meta.catalog_mut()
+        .register(CatalogEntry::index("idx", pdx_cds()).authoritative());
     let mut idx = Peer::new("idx", ns());
     let mut s = Peer::new("S", ns());
     s.add_collection("cds", pdx_cds(), [cd("x", 3.0)]);
     idx.catalog_mut().register(s.base_entry());
-    let mut h = SimHarness::new(
-        Topology::uniform(4, 5_000),
-        vec![client, meta, idx, s],
-    );
+    let mut h = SimHarness::new(Topology::uniform(4, 5_000), vec![client, meta, idx, s]);
     h.submit(0, Plan::Urn(UrnRef::new(Urn::area(pdx_cds()))));
     h.run(10_000);
     let q = h.take_completed().pop().unwrap();
@@ -269,10 +258,7 @@ fn figure4a_pushdown_on_pipeline() {
     meta.catalog_mut().register(s2.base_entry());
     let plan = Plan::display(
         "c#0",
-        Plan::select(
-            "price < 10",
-            Plan::Urn(UrnRef::new(Urn::area(pdx_cds()))),
-        ),
+        Plan::select("price < 10", Plan::Urn(UrnRef::new(Urn::area(pdx_cds())))),
     );
     let mut mqp = Mqp::new(plan);
     let out = meta.process(&mut mqp);
@@ -348,7 +334,12 @@ fn ordering_and_transfer_policies() {
     // resource yet (ordering), so nothing is bound there.
     use mqp::core::Outcome;
     let out = prefs_srv.process(&mut mqp);
-    assert_eq!(mqp.plan.urns().len(), 2, "prefs bound too early:\n{}", mqp.plan);
+    assert_eq!(
+        mqp.plan.urns().len(),
+        2,
+        "prefs bound too early:\n{}",
+        mqp.plan
+    );
     // It cannot route anywhere it knows, so it reports stuck; the
     // client would then send to the playlist server (the allowed list
     // is what matters here).
@@ -371,8 +362,7 @@ fn ordering_and_transfer_policies() {
     // peer's catalog would pick it.
     let gate = Peer::new("gate", ns()).with_default_route("tracker");
     let plan = Plan::display("c#0", Plan::url("mqp://tracker/"));
-    let mut locked = Mqp::new(plan)
-        .with_constraints(Constraints::none().allow_only(["gate"]));
+    let mut locked = Mqp::new(plan).with_constraints(Constraints::none().allow_only(["gate"]));
     match gate.process(&mut locked) {
         Outcome::Stuck { .. } => {}
         other => panic!("transfer policy violated: {other:?}"),
@@ -390,14 +380,7 @@ fn coordinator_free_distributed_join() {
         [Element::new("song").child(Element::new("album").text("X"))],
     );
     let mut shop = Peer::new("shop", ns());
-    shop.add_collection(
-        "stock",
-        pdx_cds(),
-        [
-            cd("X", 8.0),
-            cd("Y", 3.0),
-        ],
-    );
+    shop.add_collection("stock", pdx_cds(), [cd("X", 8.0), cd("Y", 3.0)]);
     let plan = Plan::display(
         "c#0",
         Plan::join(
@@ -407,10 +390,7 @@ fn coordinator_free_distributed_join() {
         ),
     );
     let client = Peer::new("c", ns()).with_default_route("songs");
-    let mut h = SimHarness::new(
-        Topology::uniform(3, 2_000),
-        vec![client, songs, shop],
-    );
+    let mut h = SimHarness::new(Topology::uniform(3, 2_000), vec![client, songs, shop]);
     h.submit(0, plan);
     h.run(10_000);
     let q = h.take_completed().pop().unwrap();

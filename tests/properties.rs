@@ -27,13 +27,13 @@ fn arb_data_plan() -> impl Strategy<Value = Plan> {
     let leaf = arb_items("i").prop_map(Plan::data);
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
-            (0u32..50, inner.clone()).prop_map(|(c, i)| Plan::select(
-                &format!("price < {c}"),
-                i
-            )),
+            (0u32..50, inner.clone()).prop_map(|(c, i)| Plan::select(&format!("price < {c}"), i)),
             proptest::collection::vec(inner.clone(), 1..3).prop_map(Plan::union),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Plan::join(JoinCond::on("k", "k"), a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Plan::join(
+                JoinCond::on("k", "k"),
+                a,
+                b
+            )),
             inner.clone().prop_map(|i| Plan::top_n(3, "price", true, i)),
         ]
     })
@@ -112,15 +112,7 @@ fn harness_runs_are_deterministic() {
             .harness
             .completed()
             .iter()
-            .map(|q| {
-                (
-                    q.qid,
-                    q.items.len(),
-                    q.hops,
-                    q.mqp_bytes,
-                    q.failure.clone(),
-                )
-            })
+            .map(|q| (q.qid, q.items.len(), q.hops, q.mqp_bytes, q.failure.clone()))
             .collect();
         let stats = w.harness.net.stats().clone();
         (outcomes, stats.messages_sent, stats.bytes_sent)

@@ -1,0 +1,43 @@
+//! Workspace smoke test: the facade's public API round-trips an MQP
+//! exactly as the `src/lib.rs` doc-test does. Doc-tests are skipped by
+//! `cargo test -q --tests` and by some CI configurations, so this
+//! integration test guarantees facade re-export breakage (a renamed
+//! crate, a dropped `pub use`, a changed signature) still fails the
+//! plain test run.
+
+use mqp::algebra::plan::Plan;
+use mqp::core::Mqp;
+
+#[test]
+fn facade_wire_roundtrip_matches_doc_test() {
+    // Build the Figure-3 style plan: select cheap CDs from an abstract
+    // resource, display the answer back to the client.
+    let plan = Plan::display(
+        "client#0",
+        Plan::select("price < 10", Plan::urn("urn:ForSale:Portland-CDs")),
+    );
+
+    // Serialize it as a travelling mutant query plan…
+    let wire = Mqp::new(plan).to_wire();
+    assert!(wire.starts_with("<mqp>"));
+
+    // …and any peer can parse it back and keep mutating it.
+    let back = Mqp::from_wire(&wire).unwrap();
+    assert_eq!(back.plan.urns().len(), 1);
+}
+
+#[test]
+fn facade_re_exports_every_component_crate() {
+    // One symbol per re-exported crate: if a `pub use` disappears from
+    // src/lib.rs, this stops compiling.
+    let _ = mqp::algebra::plan::Plan::data(vec![]);
+    let _ = mqp::baselines::fnv1a("key");
+    let _ = mqp::catalog::Preference::Current;
+    let _ = mqp::core::Policy::current();
+    let _ = mqp::engine::NoResolver;
+    let _ = mqp::namespace::Urn::named("CD", "TrackListings");
+    let _ = mqp::net::Topology::uniform(2, 1_000);
+    let _ = mqp::peer::SimHarness::new(mqp::net::Topology::uniform(0, 1_000), vec![]);
+    let _ = mqp::workloads::garage::GarageConfig::default();
+    let _ = mqp::xml::Element::new("item");
+}

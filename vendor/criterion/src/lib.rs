@@ -1,0 +1,233 @@
+//! A vendored, dependency-free stand-in for `criterion`, exposing the
+//! subset of the 0.5 API that `crates/bench/benches/micro.rs` uses:
+//! `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a warm-up pass, then a timed
+//! batch sized to the warm-up rate — because this environment has no
+//! crates.io access and the workspace needs `cargo bench` to produce
+//! useful numbers, not publication-grade statistics.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier (`function_id/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_id: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration from the measured batch.
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`: warm-up for ~20ms to estimate the rate, then one
+    /// measured batch of at least that many iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        const WARMUP: Duration = Duration::from_millis(20);
+        const MEASURE: Duration = Duration::from_millis(80);
+
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP {
+            std_black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters.max(1) as u32;
+        let batch = (MEASURE.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            std_black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean = elapsed / batch as u32;
+        self.iters = batch;
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, mean: Duration, iters: u64, throughput: Option<Throughput>) {
+    let extra = match throughput {
+        Some(Throughput::Bytes(b)) if mean.as_nanos() > 0 => {
+            let gib = b as f64 / mean.as_secs_f64() / (1u64 << 30) as f64;
+            format!("  {gib:.3} GiB/s")
+        }
+        Some(Throughput::Elements(e)) if mean.as_nanos() > 0 => {
+            let meps = e as f64 / mean.as_secs_f64() / 1e6;
+            format!("  {meps:.3} Melem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<40} time: {:>12}  ({iters} iters){extra}",
+        human(mean)
+    );
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.mean,
+            b.iters,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs a named benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.mean,
+            b.iters,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(id, b.mean, b.iters, None);
+        self
+    }
+}
+
+/// Declares a group-runner function, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

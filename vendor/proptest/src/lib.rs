@@ -1,0 +1,272 @@
+//! A vendored, dependency-free stand-in for `proptest`, implementing the
+//! generate-only subset of the 1.x API this workspace uses: the
+//! [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! regex-subset string strategies, numeric-range strategies, tuples,
+//! `collection::vec`, `option::of`, `sample::select`, `sample::Index`,
+//! `any`, `Just`, `prop_oneof!`, and the `proptest!` runner macro with
+//! `prop_assert!` / `prop_assert_eq!`.
+//!
+//! There is **no shrinking**: a failing case panics with the generated
+//! input in the assertion message (every generator here is seeded
+//! deterministically per case index, so failures reproduce exactly).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+// Re-exported so the `proptest!` expansion can name the RNG through
+// `$crate` from crates that do not themselves depend on `rand`.
+#[doc(hidden)]
+pub use rand;
+
+/// Strategies for collections (subset: `vec`).
+pub mod collection {
+    use crate::strategy::{SizeBounds, Strategy, VecStrategy};
+
+    /// A strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeBounds>) -> VecStrategy<S> {
+        let SizeBounds { min, max } = size.into();
+        VecStrategy { element, min, max }
+    }
+}
+
+/// Strategies for `Option` (subset: `of`).
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy for `Option<S::Value>`, generating `Some` three times
+    /// out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Sampling strategies (subset: `select`, `Index`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy drawing uniformly from a fixed set of options.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice among `options`. Panics on an empty vector.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select requires options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// An index into a collection whose length is only known at use
+    /// time; `index(len)` maps it uniformly into `0..len`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(pub(crate) usize);
+
+    impl Index {
+        /// Maps this sample into `0..len`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+}
+
+/// String strategies (subset: `string_regex` over a regex sub-language
+/// of concatenated literals and character classes with `{m,n}` counts).
+pub mod string {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Error from [`string_regex`] on a pattern outside the supported
+    /// sub-language.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One quantified atom: a set of candidate chars and a repeat range.
+    #[derive(Debug, Clone)]
+    pub(crate) struct Part {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// A compiled pattern.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        parts: Vec<Part>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for part in &self.parts {
+                let n = rng.gen_range(part.min..=part.max);
+                for _ in 0..n {
+                    out.push(part.chars[rng.gen_range(0..part.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Compiles `pattern` (concatenation of `[class]` / literal atoms,
+    /// each optionally followed by `{m}` or `{m,n}`) into a generator.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut parts = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars, pattern)?,
+                '\\' => vec![chars
+                    .next()
+                    .ok_or_else(|| Error(format!("{pattern}: dangling escape")))?],
+                '{' | '}' | ']' | '*' | '+' | '?' | '|' | '(' | ')' => {
+                    return Err(Error(format!("{pattern}: unsupported metachar {c:?}")))
+                }
+                lit => vec![lit],
+            };
+            let (min, max) = parse_count(&mut chars, pattern)?;
+            parts.push(Part {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        Ok(RegexGeneratorStrategy { parts })
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Result<Vec<char>, Error> {
+        let mut set = Vec::new();
+        loop {
+            let c = match chars.next() {
+                Some(']') => break,
+                Some('\\') => chars
+                    .next()
+                    .ok_or_else(|| Error(format!("{pattern}: dangling escape")))?,
+                Some(c) => c,
+                None => return Err(Error(format!("{pattern}: unterminated class"))),
+            };
+            // `a-z` range, unless `-` is the last char before `]`.
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|&n| n != ']') {
+                    chars.next(); // consume '-'
+                    let end = match chars.next() {
+                        Some('\\') => chars
+                            .next()
+                            .ok_or_else(|| Error(format!("{pattern}: dangling escape")))?,
+                        Some(e) => e,
+                        None => return Err(Error(format!("{pattern}: unterminated range"))),
+                    };
+                    if end < c {
+                        return Err(Error(format!("{pattern}: inverted range {c}-{end}")));
+                    }
+                    set.extend(c..=end);
+                    continue;
+                }
+            }
+            set.push(c);
+        }
+        if set.is_empty() {
+            return Err(Error(format!("{pattern}: empty class")));
+        }
+        Ok(set)
+    }
+
+    fn parse_count(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Result<(usize, usize), Error> {
+        if chars.peek() != Some(&'{') {
+            return Ok((1, 1));
+        }
+        chars.next();
+        let mut body = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse()
+                            .map_err(|_| Error(format!("{pattern}: bad count")))?,
+                        hi.parse()
+                            .map_err(|_| Error(format!("{pattern}: bad count")))?,
+                    ),
+                    None => {
+                        let n = body
+                            .parse()
+                            .map_err(|_| Error(format!("{pattern}: bad count")))?;
+                        (n, n)
+                    }
+                };
+                if max < min {
+                    return Err(Error(format!("{pattern}: inverted count")));
+                }
+                return Ok((min, max));
+            }
+            body.push(c);
+        }
+        Err(Error(format!("{pattern}: unterminated count")))
+    }
+}
+
+/// Values with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+impl Arbitrary for bool {
+    type Strategy = strategy::AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyBool
+    }
+}
+
+impl Arbitrary for sample::Index {
+    type Strategy = strategy::AnyIndex;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyIndex
+    }
+}
+
+/// Everything a property-test module needs, plus the `prop` crate alias.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The conventional `prop::` alias for the crate root.
+    pub use crate as prop;
+}

@@ -1,0 +1,330 @@
+//! The [`Strategy`] trait and combinators: `Just`, ranges, string
+//! literals, tuples, vectors, options, unions, map, recursion, boxing.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no value tree and no shrinking — a
+/// strategy is just a deterministic function of the per-case RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives the strategy for
+    /// the previous depth level and wraps it one level deeper. `depth`
+    /// bounds the recursion; the size hints are accepted for API
+    /// compatibility but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            let leaf = base.clone();
+            let deeper = recurse(strat).boxed();
+            // At every level: 1-in-4 stop early at a leaf, else recurse,
+            // so generated structures mix all depths up to `depth`.
+            strat = BoxedStrategy::from_fn(move |rng| {
+                if rng.gen_range(0..4u32) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            });
+        }
+        strat
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.generate(rng))
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut StdRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    pub(crate) fn from_fn(f: impl Fn(&mut StdRng) -> T + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.arms[rng.gen_range(0..self.arms.len())].generate(rng)
+    }
+}
+
+/// Selects uniformly among heterogeneous strategies with a common value
+/// type. Equal weights; arms are evaluated once.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+// ---- Numeric ranges ----------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- Strings -----------------------------------------------------------
+
+/// A `&str` is a regex-subset pattern (see [`crate::string`]); invalid
+/// patterns panic at first generation with the compile error. Compiled
+/// patterns are cached per thread — recursive strategies hit the same
+/// handful of literals thousands of times per property.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        thread_local! {
+            static COMPILED: std::cell::RefCell<
+                std::collections::HashMap<String, Rc<crate::string::RegexGeneratorStrategy>>,
+            > = std::cell::RefCell::new(std::collections::HashMap::new());
+        }
+        let compiled = COMPILED.with(|cache| {
+            Rc::clone(
+                cache
+                    .borrow_mut()
+                    .entry(self.to_string())
+                    .or_insert_with(|| {
+                        Rc::new(
+                            crate::string::string_regex(self)
+                                .unwrap_or_else(|e| panic!("bad string strategy {self:?}: {e}")),
+                        )
+                    }),
+            )
+        });
+        compiled.generate(rng)
+    }
+}
+
+// ---- Built-in `any` strategies -----------------------------------------
+
+/// `any::<bool>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+/// `any::<sample::Index>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyIndex;
+
+impl Strategy for AnyIndex {
+    type Value = crate::sample::Index;
+    fn generate(&self, rng: &mut StdRng) -> crate::sample::Index {
+        crate::sample::Index(rng.gen_range(0..usize::MAX))
+    }
+}
+
+// ---- Tuples ------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident.$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+// ---- Collections -------------------------------------------------------
+
+/// Inclusive length bounds for [`crate::collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeBounds {
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+}
+
+impl From<Range<usize>> for SizeBounds {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeBounds {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeBounds {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeBounds {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeBounds {
+    fn from(n: usize) -> Self {
+        SizeBounds { min: n, max: n }
+    }
+}
+
+/// [`crate::collection::vec`] strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.min..=self.max);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// [`crate::option::of`] strategy.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_range(0..4u32) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
