@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use mqp_net::{NodeId, SimNet, Topology};
+use mqp_net::{FaultPlan, NodeId, SimNet, Topology};
 
 use crate::common::DiscoveryResult;
 
@@ -47,6 +47,15 @@ impl CentralIndex {
             index: HashMap::new(),
             truth: HashMap::new(),
         }
+    }
+
+    /// Installs a fault plan on the underlying network. A lost publish
+    /// silently un-indexes the key; a lost query or reply returns an
+    /// empty answer — the client has no one else to ask (§1's single
+    /// point of failure, now also a single point of loss).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.net.set_fault_plan(plan);
+        self
     }
 
     /// Network statistics so far.

@@ -11,11 +11,15 @@
 
 use std::collections::HashMap;
 
-use mqp_net::{NodeId, SimNet, Topology};
+use mqp_net::{FaultPlan, NodeId, SimNet, Topology};
 
 use crate::common::{fnv1a, DiscoveryResult};
 
 const M: u32 = 64; // identifier bits
+
+/// Lost lookup hops are retransmitted this many times before the whole
+/// lookup fails — the minimal recovery a real Chord node performs.
+const MAX_RETRANSMITS: u32 = 3;
 
 /// Chord protocol messages.
 #[derive(Debug, Clone)]
@@ -81,6 +85,16 @@ impl Chord {
         }
     }
 
+    /// Installs a fault plan on the underlying network, so resilience
+    /// comparisons against the MQP harness run under identical
+    /// adversarial schedules. Lookup hops retransmit on loss (up to
+    /// [`MAX_RETRANSMITS`], counted in `stats().retries`); a hop whose
+    /// retransmits are exhausted fails the lookup.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.net.set_fault_plan(plan);
+        self
+    }
+
     /// Network statistics so far.
     pub fn stats(&self) -> &mqp_net::NetStats {
         self.net.stats()
@@ -92,30 +106,38 @@ impl Chord {
     }
 
     /// Publishes `key` at `holder`: routes a store to the successor,
-    /// counting the messages it costs.
+    /// counting the messages it costs. Under faults the store can be
+    /// lost (the key is simply not indexed — a recall hit the churn
+    /// experiment measures).
     pub fn publish(&mut self, holder: NodeId, key: &str) -> u64 {
         self.truth.entry(key.to_owned()).or_default().push(holder);
         let before = self.net.stats().messages_sent;
         let key_hash = fnv1a(key);
         // Route like a lookup, then store at the responsible node.
-        let responsible = self.route_sync(holder, key_hash);
-        let m = Msg::Store {
-            key: key.to_owned(),
-            holder,
-        };
-        let b = msg_bytes(&m);
-        self.net.send(holder, responsible, b, m);
-        while let Some(d) = self.net.step() {
-            if let Msg::Store { key, holder } = d.payload {
-                self.storage[d.to].entry(key).or_default().push(holder);
+        if let Some(responsible) = self.route_sync(holder, key_hash) {
+            let m = Msg::Store {
+                key: key.to_owned(),
+                holder,
+            };
+            let b = msg_bytes(&m);
+            self.net.send(holder, responsible, b, m);
+            while let Some(d) = self.net.step() {
+                if let Msg::Store { key, holder } = d.payload {
+                    let holders = self.storage[d.to].entry(key).or_default();
+                    if !holders.contains(&holder) {
+                        holders.push(holder); // duplicate deliveries are idempotent
+                    }
+                }
             }
         }
         self.net.stats().messages_sent - before
     }
 
-    /// Greedy finger routing, charging one message per hop. Returns the
-    /// responsible node. (Synchronous helper used by publish/query.)
-    fn route_sync(&mut self, from: NodeId, key_hash: u64) -> NodeId {
+    /// Greedy finger routing, charging one message per hop and
+    /// retransmitting lost hops. Returns the responsible node, or
+    /// `None` when a hop's retransmit budget is exhausted (dead or
+    /// unreachable finger). (Synchronous helper used by publish/query.)
+    fn route_sync(&mut self, from: NodeId, key_hash: u64) -> Option<NodeId> {
         let mut cur = from;
         let mut hops = 0;
         while !self.is_responsible(cur, key_hash) {
@@ -123,20 +145,41 @@ impl Chord {
             if next == cur {
                 break;
             }
-            let m = Msg::Lookup;
-            let b = msg_bytes(&m);
-            self.net.send(cur, next, b, m);
-            // Drain the hop (delivery keeps the clock moving).
-            while let Some(d) = self.net.step() {
-                if matches!(d.payload, Msg::Lookup) {
-                    break;
-                }
+            if !self.hop(cur, next) {
+                return None;
             }
             cur = next;
             hops += 1;
             assert!(hops <= self.ring.len(), "routing loop");
         }
-        cur
+        Some(cur)
+    }
+
+    /// One lookup hop `from → to`, retransmitting until delivered or
+    /// the budget runs out. Returns whether the hop got through.
+    fn hop(&mut self, from: NodeId, to: NodeId) -> bool {
+        let mut attempt = 0;
+        loop {
+            let m = Msg::Lookup;
+            let b = msg_bytes(&m);
+            self.net.send(from, to, b, m);
+            // Drain the hop (delivery keeps the clock moving).
+            let mut delivered = false;
+            while let Some(d) = self.net.step() {
+                if matches!(d.payload, Msg::Lookup) && d.to == to {
+                    delivered = true;
+                    break;
+                }
+            }
+            if delivered {
+                return true;
+            }
+            if attempt == MAX_RETRANSMITS {
+                return false;
+            }
+            attempt += 1;
+            self.net.stats_mut().retries += 1;
+        }
     }
 
     fn is_responsible(&self, node: NodeId, key_hash: u64) -> bool {
@@ -173,26 +216,35 @@ impl Chord {
         self.truth.get(key).cloned().unwrap_or_default()
     }
 
-    /// Looks a key up from `client`.
+    /// Looks a key up from `client`. The client only learns holders it
+    /// actually receives: a failed lookup or a lost reply yields an
+    /// empty answer.
     pub fn query(&mut self, client: NodeId, key: &str) -> DiscoveryResult {
         let before = self.net.stats().clone();
         let start = self.net.now();
         let key_hash = fnv1a(key);
-        let responsible = self.route_sync(client, key_hash);
-        let holders = self.storage[responsible]
-            .get(key)
-            .cloned()
-            .unwrap_or_default();
-        // Reply hop back to the client.
-        let reply = Msg::Reply {
-            holders: holders.clone(),
-        };
-        let b = msg_bytes(&reply);
-        self.net.send(responsible, client, b, reply);
+        let mut holders: Vec<NodeId> = Vec::new();
         let mut last = start;
-        while let Some(d) = self.net.step() {
-            last = d.at;
+        if let Some(responsible) = self.route_sync(client, key_hash) {
+            let known = self.storage[responsible]
+                .get(key)
+                .cloned()
+                .unwrap_or_default();
+            // Reply hop back to the client; it counts only if delivered.
+            let reply = Msg::Reply {
+                holders: known.clone(),
+            };
+            let b = msg_bytes(&reply);
+            self.net.send(responsible, client, b, reply);
+            while let Some(d) = self.net.step() {
+                last = d.at;
+                if matches!(d.payload, Msg::Reply { .. }) && d.to == client {
+                    holders = known.clone();
+                }
+            }
         }
+        holders.sort_unstable();
+        holders.dedup();
         let after = self.net.stats();
         DiscoveryResult {
             holders,
@@ -264,6 +316,30 @@ mod tests {
             let bound = 2 * (n as f64).log2().ceil() as u64 + 4;
             assert!(worst <= bound, "n={n}: {worst} hops > bound {bound}");
         }
+    }
+
+    #[test]
+    fn loss_triggers_retransmits_and_can_fail_lookups() {
+        let run = || {
+            let mut c = Chord::new(Topology::uniform(64, 5_000))
+                .with_faults(FaultPlan::new(4).with_loss(0.4));
+            for n in [3usize, 9, 27] {
+                c.publish(n, "k");
+            }
+            let mut found = 0;
+            for client in 0..16 {
+                let r = c.query(client, "k");
+                if !r.holders.is_empty() {
+                    found += 1;
+                }
+            }
+            (found, c.stats().retries, c.stats().messages_lost)
+        };
+        let (found, retries, lost) = run();
+        assert!(lost > 0, "40% loss must lose something");
+        assert!(retries > 0, "lost hops must retransmit");
+        assert!(found > 0, "retransmits must save some lookups");
+        assert_eq!(run(), (found, retries, lost), "deterministic under faults");
     }
 
     #[test]

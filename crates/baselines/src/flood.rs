@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use mqp_net::{NodeId, SimNet, Topology};
+use mqp_net::{FaultPlan, NodeId, SimNet, Topology};
 
 use crate::common::DiscoveryResult;
 
@@ -73,6 +73,14 @@ impl Flooding {
             keys: HashMap::new(),
             truth: HashMap::new(),
         }
+    }
+
+    /// Installs a fault plan (loss/jitter/duplication/churn) on the
+    /// underlying network, so resilience comparisons against the MQP
+    /// harness run under identical adversarial schedules.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.net.set_fault_plan(plan);
+        self
     }
 
     /// Network statistics so far.
@@ -235,5 +243,24 @@ mod tests {
             (r.holders.clone(), r.messages, r.latency_us)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn loss_degrades_recall_deterministically() {
+        let run = |loss: f64| {
+            let mut f = Flooding::new(Topology::uniform(100, 1_000), 3, 7)
+                .with_faults(FaultPlan::new(9).with_loss(loss));
+            for node in (5..100).step_by(5) {
+                f.publish(node, "k");
+            }
+            let r = f.query(0, "k", 6);
+            (r.recall(&f.truth("k")), r.holders.clone())
+        };
+        let (clean, _) = run(0.0);
+        let (lossy, holders_a) = run(0.5);
+        let (_, holders_b) = run(0.5);
+        assert!((clean - 1.0).abs() < 1e-9);
+        assert!(lossy < clean, "loss must cost recall: {lossy} !< {clean}");
+        assert_eq!(holders_a, holders_b, "same seed, same holders");
     }
 }

@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use mqp_algebra::codec::{from_wire, to_wire};
 use mqp_algebra::plan::{JoinCond, Plan};
-use mqp_bench::{f2, print_table};
+use mqp_bench::{fmt_ms, print_table};
 use mqp_core::rewrite;
 use mqp_engine::eval_const;
 use mqp_xml::Element;
@@ -32,7 +32,14 @@ fn songs(n: usize) -> Vec<Element> {
 
 fn main() {
     let mut rows = Vec::new();
-    for &n in &[100usize, 1_000, 10_000, 100_000] {
+    // Golden scale: small sweep, wall-clock columns elided (fmt_ms) so
+    // the snapshot is byte-identical across machines.
+    let sizes: &[usize] = if mqp_bench::golden_scale() {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000]
+    };
+    for &n in sizes {
         // The Figure-3 shape with data inlined: join + select.
         let plan = Plan::display(
             "client#0",
@@ -68,10 +75,10 @@ fn main() {
         rows.push(vec![
             n.to_string(),
             wire.len().to_string(),
-            f2(t_parse.as_secs_f64() * 1e3),
-            f2(t_optimize.as_secs_f64() * 1e3),
-            f2(t_eval.as_secs_f64() * 1e3),
-            f2((t_serialize + t_reserialize).as_secs_f64() * 1e3),
+            fmt_ms(t_parse.as_secs_f64() * 1e3),
+            fmt_ms(t_optimize.as_secs_f64() * 1e3),
+            fmt_ms(t_eval.as_secs_f64() * 1e3),
+            fmt_ms((t_serialize + t_reserialize).as_secs_f64() * 1e3),
             result.len().to_string(),
             out.len().to_string(),
         ]);

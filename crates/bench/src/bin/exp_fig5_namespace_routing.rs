@@ -9,7 +9,12 @@ use mqp_workloads::garage::{build, random_query, GarageConfig};
 
 fn main() {
     let mut rows = Vec::new();
-    for &sellers in &[10usize, 50, 200, 1000] {
+    let (populations, queries): (&[usize], usize) = if mqp_bench::golden_scale() {
+        (&[10, 50, 200], 10)
+    } else {
+        (&[10, 50, 200, 1000], 25)
+    };
+    for &sellers in populations {
         for &warm in &[false, true] {
             let mut w = build(GarageConfig {
                 sellers,
@@ -28,7 +33,7 @@ fn main() {
             let mut total = 0usize;
             for round in 0..rounds {
                 let mut rng = StdRng::seed_from_u64(7);
-                for _ in 0..25 {
+                for _ in 0..queries {
                     let q = random_query(&mut rng, Some(100.0));
                     w.harness.submit(w.client, q);
                     w.harness.run(10_000_000);
@@ -57,7 +62,7 @@ fn main() {
         }
     }
     print_table(
-        "Figure 5 / §3.4: namespace routing vs network size (25 queries)",
+        &format!("Figure 5 / §3.4: namespace routing vs network size ({queries} queries)"),
         &[
             "sellers",
             "caches",

@@ -12,7 +12,6 @@ use mqp_namespace::{Cell, InterestArea, Urn};
 use mqp_net::Topology;
 use mqp_workloads::garage::{build, true_holders, GarageConfig, CATEGORIES, CITIES};
 
-const QUERIES: usize = 30;
 const LAT: u64 = 20_000; // µs, uniform
 
 /// Keys for the baselines: the exact (city, category) cell string —
@@ -23,7 +22,12 @@ fn key(city: &str, cat: &str) -> String {
 
 fn main() {
     let mut rows = Vec::new();
-    for &n in &[32usize, 128, 512] {
+    let (populations, n_queries): (&[usize], usize) = if mqp_bench::golden_scale() {
+        (&[32, 128], 10)
+    } else {
+        (&[32, 128, 512], 30)
+    };
+    for &n in populations {
         // A common assignment of content: seller i (nodes 1..) holds one
         // (city, category) cell.
         let mut rng = StdRng::seed_from_u64(1);
@@ -34,12 +38,13 @@ fn main() {
                 (node, city, cat)
             })
             .collect();
-        let mut queries = Vec::new();
+        let mut query_cells = Vec::new();
         let mut qrng = StdRng::seed_from_u64(2);
-        for _ in 0..QUERIES {
+        for _ in 0..n_queries {
             let (_, city, cat) = &placement[qrng.gen_range(0..placement.len())];
-            queries.push((city.clone(), cat.clone()));
+            query_cells.push((city.clone(), cat.clone()));
         }
+        let queries = &query_cells;
 
         // --- MQP catalog routing ---
         {
@@ -54,7 +59,7 @@ fn main() {
             let mut bytes = Vec::new();
             let mut lat = Vec::new();
             let mut recall = Vec::new();
-            for (city, cat) in &queries {
+            for (city, cat) in queries {
                 let area = InterestArea::of(Cell::parse([city.as_str(), cat.as_str()]));
                 let truth = true_holders(&w, &area);
                 let before = w.harness.net.stats().clone();
@@ -95,7 +100,7 @@ fn main() {
             }
             let (mut msgs, mut bytes, mut lat, mut recall) =
                 (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-            for (city, cat) in &queries {
+            for (city, cat) in queries {
                 let r = c.query(n - 1, &key(city, cat));
                 msgs.push(r.messages as f64);
                 bytes.push(r.bytes as f64);
@@ -122,7 +127,7 @@ fn main() {
             }
             let (mut msgs, mut bytes, mut lat, mut recall) =
                 (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-            for (city, cat) in &queries {
+            for (city, cat) in queries {
                 let r = f.query(0, &key(city, cat), 4);
                 msgs.push(r.messages as f64);
                 bytes.push(r.bytes as f64);
@@ -141,7 +146,7 @@ fn main() {
             }
             let (mut msgs, mut bytes, mut lat, mut recall) =
                 (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-            for (city, cat) in &queries {
+            for (city, cat) in queries {
                 let r = c.query(0, &key(city, cat));
                 msgs.push(r.messages as f64);
                 bytes.push(r.bytes as f64);
@@ -154,7 +159,7 @@ fn main() {
     }
 
     print_table(
-        "routing comparison: mean per query over 30 discovery queries",
+        &format!("routing comparison: mean per query over {n_queries} discovery queries"),
         &[
             "architecture",
             "n",

@@ -20,6 +20,27 @@
 //! `cargo run -p mqp-bench --release --bin <name>`. Criterion
 //! micro-benches (`cargo bench`) cover the per-stage costs.
 
+/// True when the `exp_*` binaries should run at the reduced, fully
+/// deterministic *golden* scale (`MQP_EXP_SCALE=golden`): smaller
+/// sweeps, and wall-clock measurements elided. The golden-trace
+/// regression tests (`crates/bench/tests/golden.rs`) snapshot every
+/// binary's stdout at this scale under `tests/golden/`.
+pub fn golden_scale() -> bool {
+    std::env::var("MQP_EXP_SCALE")
+        .map(|v| v == "golden")
+        .unwrap_or(false)
+}
+
+/// Formats a wall-clock measurement (milliseconds): elided under
+/// [`golden_scale`] so snapshots stay byte-identical across machines.
+pub fn fmt_ms(ms: f64) -> String {
+    if golden_scale() {
+        "-".to_owned()
+    } else {
+        f2(ms)
+    }
+}
+
 /// Prints a fixed-width ASCII table (the format EXPERIMENTS.md quotes).
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -1,0 +1,114 @@
+//! Golden-trace regression tests: every `exp_*` binary runs at the
+//! reduced `MQP_EXP_SCALE=golden` scale and its stdout is diffed
+//! byte-for-byte against the snapshot under `tests/golden/` at the
+//! workspace root.
+//!
+//! The snapshots pin down *everything* an experiment prints — routing
+//! decisions, message/byte accounting, recall, provenance audits —
+//! so any behavioral drift in any layer (xml, algebra, engine, net,
+//! peer, baselines, workloads) shows up as a readable diff. Wall-clock
+//! measurements are elided at golden scale (see `mqp_bench::fmt_ms`),
+//! which is what makes byte-equality meaningful across machines.
+//!
+//! To regenerate after an intentional behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p mqp-bench --test golden
+//! ```
+//!
+//! and commit the updated snapshots together with the change (DESIGN.md
+//! treats a snapshot edit like an invariant edit: it needs the *why* in
+//! the same PR).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Runs `bin` at golden scale twice — once for the snapshot diff, once
+/// to prove the run itself is deterministic — and compares against
+/// `tests/golden/<name>.txt`.
+fn check(name: &str, bin: &str) {
+    let run = || {
+        let out = Command::new(bin)
+            .env("MQP_EXP_SCALE", "golden")
+            .output()
+            .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+        assert!(
+            out.status.success(),
+            "{name} exited with {:?}\nstderr:\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("experiment output is UTF-8")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "{name}: two runs with the same seed diverged (DESIGN.md invariant 6)"
+    );
+
+    let path = golden_dir().join(format!("{name}.txt"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &first).expect("write snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test -p mqp-bench --test golden",
+            path.display()
+        )
+    });
+    if first != want {
+        // Line-level context first; full dump only if the shape matches.
+        let got_lines: Vec<&str> = first.lines().collect();
+        let want_lines: Vec<&str> = want.lines().collect();
+        for (i, (g, w)) in got_lines.iter().zip(&want_lines).enumerate() {
+            assert_eq!(
+                g,
+                w,
+                "{name}: first divergence at line {} (run UPDATE_GOLDEN=1 to accept)",
+                i + 1
+            );
+        }
+        assert_eq!(
+            got_lines.len(),
+            want_lines.len(),
+            "{name}: output length changed (run UPDATE_GOLDEN=1 to accept)"
+        );
+        // Same lines, different bytes: trailing-terminator drift.
+        assert_eq!(
+            first, want,
+            "{name}: line content matches but raw bytes differ (trailing \
+             newline?); run UPDATE_GOLDEN=1 to accept"
+        );
+    }
+}
+
+macro_rules! golden {
+    ($($test:ident => $bin:ident),* $(,)?) => {$(
+        #[test]
+        fn $test() {
+            check(stringify!($bin), env!(concat!("CARGO_BIN_EXE_", stringify!($bin))));
+        }
+    )*};
+}
+
+golden! {
+    golden_fig1_gene_routing => exp_fig1_gene_routing,
+    golden_fig2_pipeline => exp_fig2_pipeline,
+    golden_fig3_mqp_trace => exp_fig3_mqp_trace,
+    golden_fig5_namespace_routing => exp_fig5_namespace_routing,
+    golden_routing_comparison => exp_routing_comparison,
+    golden_rewrite_ablation => exp_rewrite_ablation,
+    golden_intensional_redundancy => exp_intensional_redundancy,
+    golden_currency_latency => exp_currency_latency,
+    golden_provenance_spoofing => exp_provenance_spoofing,
+    golden_index_detail_tradeoff => exp_index_detail_tradeoff,
+    golden_churn_resilience => exp_churn_resilience,
+}

@@ -38,4 +38,4 @@ pub use constraints::Constraints;
 pub use mqp::Mqp;
 pub use policy::Policy;
 pub use processor::{Outcome, Processor, ServerContext};
-pub use provenance::{Action, VisitRecord};
+pub use provenance::{unaccounted_sources, verification_query, Action, VisitRecord};

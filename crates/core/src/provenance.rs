@@ -22,6 +22,10 @@ pub enum Action {
     Rewrote,
     /// Merely forwarded the plan.
     Forwarded,
+    /// Re-sent the plan after a timeout, possibly to a different
+    /// server (the §5.1-visible detour a crashed next-hop forces —
+    /// DESIGN.md invariant 7).
+    Retried,
 }
 
 impl Action {
@@ -33,6 +37,7 @@ impl Action {
             Action::Evaluated => "evaluated",
             Action::Rewrote => "rewrote",
             Action::Forwarded => "forwarded",
+            Action::Retried => "retried",
         }
     }
 
@@ -44,6 +49,7 @@ impl Action {
             "evaluated" => Action::Evaluated,
             "rewrote" => Action::Rewrote,
             "forwarded" => Action::Forwarded,
+            "retried" => Action::Retried,
             _ => return None,
         })
     }
@@ -100,27 +106,62 @@ impl VisitRecord {
 /// recorded, the resulting MQP would show that P never visited T (or any
 /// other site for B)."
 ///
+/// `Or` nodes are conjoint unions (§4.2): each alternative alone
+/// suffices, so the `Or` is accounted for as soon as *one* alternative
+/// has every source accounted — visiting the others would be redundant,
+/// not evasive. (This is what keeps retry detours audit-clean when a
+/// crashed alternative is pruned, DESIGN.md invariant 7.) Only when no
+/// alternative is fully accounted are all of them reported.
+///
 /// Returns the offending source names (URN strings and URL hrefs).
 pub fn unaccounted_sources(original: &Plan, visits: &[VisitRecord]) -> Vec<String> {
-    let mut sources: Vec<String> = original
-        .urns()
-        .iter()
-        .map(|u| u.urn.to_string())
-        .chain(original.urls().iter().map(|u| u.href.clone()))
-        .collect();
-    sources.sort();
-    sources.dedup();
-    sources
-        .into_iter()
-        .filter(|src| {
-            !visits.iter().any(|v| {
-                matches!(
-                    v.action,
-                    Action::Bound | Action::Resolved | Action::Evaluated
-                ) && v.detail.contains(src.as_str())
-            })
-        })
-        .collect()
+    let mut missing = Vec::new();
+    collect_unaccounted(original, visits, &mut missing);
+    missing.sort();
+    missing.dedup();
+    missing
+}
+
+fn source_accounted(src: &str, visits: &[VisitRecord]) -> bool {
+    visits.iter().any(|v| {
+        matches!(
+            v.action,
+            Action::Bound | Action::Resolved | Action::Evaluated
+        ) && v.detail.contains(src)
+    })
+}
+
+fn collect_unaccounted(plan: &Plan, visits: &[VisitRecord], out: &mut Vec<String>) {
+    match plan {
+        Plan::Urn(u) => {
+            let s = u.urn.to_string();
+            if !source_accounted(&s, visits) {
+                out.push(s);
+            }
+        }
+        Plan::Url(u) => {
+            if !source_accounted(&u.href, visits) {
+                out.push(u.href.clone());
+            }
+        }
+        Plan::Or(alts) => {
+            let satisfied = alts.iter().any(|a| {
+                let mut m = Vec::new();
+                collect_unaccounted(&a.plan, visits, &mut m);
+                m.is_empty()
+            });
+            if !satisfied {
+                for a in alts {
+                    collect_unaccounted(&a.plan, visits, out);
+                }
+            }
+        }
+        _ => {
+            for c in plan.children() {
+                collect_unaccounted(c, visits, out);
+            }
+        }
+    }
 }
 
 /// Builds the verification query of §5.1: `count(sub)` displayed back to
@@ -164,6 +205,7 @@ mod tests {
             Action::Evaluated,
             Action::Rewrote,
             Action::Forwarded,
+            Action::Retried,
         ] {
             assert_eq!(Action::parse(a.name()), Some(a));
         }
@@ -197,12 +239,53 @@ mod tests {
     }
 
     #[test]
+    fn retry_detours_stay_audit_clean() {
+        // Invariant 7 (DESIGN.md §5): a timeout detour adds a Retried
+        // record, which is provenance-visible but never accounts for a
+        // source — so an honest retried run stays clean, and a spoofed
+        // source cannot hide behind a retry.
+        let original = Plan::urn("urn:Data:A");
+        let honest = vec![
+            visit("C", Action::Retried, "timeout waiting on S; rerouting to T"),
+            visit("T", Action::Bound, "urn:Data:A -> mqp://T/"),
+            visit("T", Action::Evaluated, "reduced urn:Data:A"),
+        ];
+        assert!(unaccounted_sources(&original, &honest).is_empty());
+        let evasive = vec![visit(
+            "C",
+            Action::Retried,
+            "timeout; pretending urn:Data:A handled",
+        )];
+        assert_eq!(
+            unaccounted_sources(&original, &evasive),
+            vec!["urn:Data:A".to_owned()]
+        );
+    }
+
+    #[test]
     fn url_sources_checked_too() {
         let original = Plan::union([Plan::url("mqp://T/"), Plan::data([])]);
         let visits = vec![visit("S", Action::Evaluated, "reduced data leaf")];
         assert_eq!(
             unaccounted_sources(&original, &visits),
             vec!["mqp://T/".to_owned()]
+        );
+    }
+
+    #[test]
+    fn or_alternatives_need_only_one_accounted_branch() {
+        // §4.2: A | B — evaluating either alternative is honest.
+        let original = Plan::or([Plan::url("mqp://R/"), Plan::url("mqp://S/")]);
+        let via_s = vec![
+            visit("S", Action::Resolved, "mqp://S/ -> local data"),
+            visit("S", Action::Evaluated, "reduced mqp://S/"),
+        ];
+        assert!(unaccounted_sources(&original, &via_s).is_empty());
+        // Neither alternative touched: both sources reported.
+        let nothing = vec![visit("S", Action::Forwarded, "to client")];
+        assert_eq!(
+            unaccounted_sources(&original, &nothing),
+            vec!["mqp://R/".to_owned(), "mqp://S/".to_owned()]
         );
     }
 

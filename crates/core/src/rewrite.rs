@@ -135,6 +135,45 @@ pub fn commit_or(plan: &mut Plan, choose: &impl Fn(&[OrAlt]) -> usize) -> usize 
     count
 }
 
+/// Fault-recovery rewrite (DESIGN.md §6): drops `Or` alternatives
+/// whose URL leaves address `dead` — the catalog's remaining
+/// alternatives take over when a next-hop crashes mid-query. An `Or`
+/// is only pruned when at least one alternative survives (otherwise
+/// the dead server is the sole option and the retry loop must wait for
+/// it to rejoin). A single surviving alternative collapses the `Or`.
+/// Returns how many alternatives were dropped.
+pub fn prune_server_alternatives(plan: &mut Plan, dead: &mqp_catalog::ServerId) -> usize {
+    // Children first: a nested `Or` may shed its dead branch and leave
+    // this level's alternative alive — pruning top-down would discard
+    // the whole alternative (and its viable siblings) prematurely.
+    let mut count = 0;
+    for c in plan.children_mut() {
+        count += prune_server_alternatives(c, dead);
+    }
+    if let Plan::Or(alts) = plan {
+        let needs_dead = |a: &OrAlt| {
+            a.plan
+                .urls()
+                .iter()
+                .any(|u| mqp_catalog::ServerId::from_url(&u.href).as_ref() == Some(dead))
+        };
+        let survivors = alts.iter().filter(|a| !needs_dead(a)).count();
+        if survivors > 0 && survivors < alts.len() {
+            count += alts.len() - survivors;
+            let mut keep: Vec<OrAlt> = std::mem::take(alts)
+                .into_iter()
+                .filter(|a| !needs_dead(a))
+                .collect();
+            *plan = if keep.len() == 1 {
+                keep.pop().expect("one survivor").plan
+            } else {
+                Plan::Or(keep)
+            };
+        }
+    }
+    count
+}
+
 /// The absorption rewrite of §2: when resources `A` and `B` are local
 /// and `X` is not, and `|A ⋈ B| ≤ |A|`, rewrite `(A ⋈ X) ⋈ B` into
 /// `(A ⋈ B) ⋈ X` so the locally evaluable branch shrinks the partial
@@ -535,6 +574,46 @@ mod tests {
         );
         let is_local = |pl: &Plan| pl.urls().is_empty() && pl.urns().is_empty();
         assert_eq!(absorb(&mut p, &is_local), 0);
+    }
+
+    #[test]
+    fn prune_drops_dead_alternatives_and_collapses() {
+        let dead = mqp_catalog::ServerId::new("R");
+        // R | S: pruning R collapses the Or to S.
+        let mut p = Plan::or([Plan::url("mqp://R/"), Plan::url("mqp://S/")]);
+        assert_eq!(prune_server_alternatives(&mut p, &dead), 1);
+        match &p {
+            Plan::Url(u) => assert_eq!(u.href, "mqp://S/"),
+            other => panic!("expected collapsed url, got {other}"),
+        }
+        // Sole option: never pruned (the retry loop waits for R).
+        let mut sole = Plan::or([Plan::url("mqp://R/")]);
+        assert_eq!(prune_server_alternatives(&mut sole, &dead), 0);
+        assert!(matches!(sole, Plan::Or(_)));
+        // Non-Or plans are untouched.
+        let mut union = Plan::union([Plan::url("mqp://R/"), Plan::url("mqp://S/")]);
+        assert_eq!(prune_server_alternatives(&mut union, &dead), 0);
+    }
+
+    #[test]
+    fn prune_repairs_nested_or_before_judging_outer() {
+        // Or([Or([R, S]), T]): the inner Or sheds R and leaves S, so
+        // the outer alternative must survive — top-down pruning would
+        // have discarded S wholesale.
+        let dead = mqp_catalog::ServerId::new("R");
+        let mut p = Plan::or([
+            Plan::or([Plan::url("mqp://R/"), Plan::url("mqp://S/")]),
+            Plan::url("mqp://T/"),
+        ]);
+        assert_eq!(prune_server_alternatives(&mut p, &dead), 1);
+        match &p {
+            Plan::Or(alts) => {
+                assert_eq!(alts.len(), 2);
+                let hrefs: Vec<&str> = p.urls().iter().map(|u| u.href.as_str()).collect();
+                assert_eq!(hrefs, ["mqp://S/", "mqp://T/"]);
+            }
+            other => panic!("expected outer Or intact, got {other}"),
+        }
     }
 
     #[test]

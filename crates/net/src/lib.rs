@@ -9,21 +9,31 @@
 //!   payload type. Latency comes from a [`Topology`] (uniform or
 //!   clustered — wide-area links between clusters, LAN links within);
 //!   transfer time is `bytes / bandwidth`; all accounting (messages,
-//!   bytes, hops, drops) is collected in [`NetStats`]. Same seed and
-//!   same send sequence ⇒ identical event trace (property-tested).
+//!   bytes, hops, drops, losses, duplicates) is collected in
+//!   [`NetStats`]. Same seed and same send sequence ⇒ identical event
+//!   trace (property-tested).
+//! * [`FaultPlan`] — deterministic fault injection (DESIGN.md §6):
+//!   seeded per-message loss, delay jitter (which produces reordering),
+//!   duplication, and a crash/join churn schedule ([`ChurnEvent`]).
+//!   Installed with [`SimNet::set_fault_plan`]; hosts can also schedule
+//!   local timers with [`SimNet::schedule`] to build timeout/retry
+//!   policies on top.
 //! * Failure injection: [`SimNet::fail`] / [`SimNet::recover`] — sends
 //!   to a down node are counted and dropped, which is how the
 //!   availability experiments exercise the "R may be unavailable"
-//!   scenario of §4.2 Example 3.
+//!   scenario of §4.2 Example 3. Churn schedules drive the same
+//!   machinery on a clock.
 //! * [`threaded`] — a small `std::sync::mpsc` transport used by the
 //!   live (non-simulated) examples, so the same peer code can run on
 //!   real OS threads.
 
+pub mod fault;
 pub mod sim;
 pub mod stats;
 pub mod threaded;
 pub mod topology;
 
+pub use fault::{ChurnEvent, FaultPlan};
 pub use sim::{Delivery, NodeId, SimNet};
 pub use stats::NetStats;
 pub use topology::Topology;

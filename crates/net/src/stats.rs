@@ -1,14 +1,35 @@
 //! Network accounting: the numbers the routing experiments report.
 
 /// Aggregate counters for a simulation run.
+///
+/// The counters satisfy an exact identity at every instant (tested in
+/// `sim.rs` and `tests/resilience.rs`):
+///
+/// ```text
+/// messages_sent = messages_delivered + messages_dropped
+///               + messages_lost + in_flight
+/// ```
+///
+/// where `in_flight` is [`SimNet::in_flight`](crate::SimNet::in_flight).
+/// Duplicate copies injected by a fault plan are counted in
+/// `messages_sent` (and tallied separately in `messages_duplicated`),
+/// so the identity holds under duplication too.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStats {
-    /// Messages handed to the network.
+    /// Messages handed to the network (including fault-injected
+    /// duplicate copies).
     pub messages_sent: u64,
     /// Messages delivered to a live node.
     pub messages_delivered: u64,
     /// Messages dropped because the destination was down.
     pub messages_dropped: u64,
+    /// Messages lost on the wire by the fault plan.
+    pub messages_lost: u64,
+    /// Extra copies injected by the fault plan's duplication knob.
+    pub messages_duplicated: u64,
+    /// Protocol-level retransmissions recorded by the host (the
+    /// harness's timeout/retry machinery, Chord's hop retransmits).
+    pub retries: u64,
     /// Total payload bytes handed to the network.
     pub bytes_sent: u64,
     /// Total payload bytes delivered.
@@ -23,6 +44,17 @@ impl NetStats {
             per_node: vec![(0, 0); n],
             ..Default::default()
         }
+    }
+
+    /// The exact accounting identity: every sent message is delivered,
+    /// dropped (dead destination), lost (fault plan), or still in
+    /// flight.
+    pub fn balances(&self, in_flight: usize) -> bool {
+        self.messages_sent
+            == self.messages_delivered
+                + self.messages_dropped
+                + self.messages_lost
+                + in_flight as u64
     }
 
     /// The busiest receiver: `(node, received)` — used to spot central
@@ -78,5 +110,20 @@ mod tests {
         assert_eq!(s.hottest_receiver(), None);
         assert_eq!(s.mean_received(), 0.0);
         assert_eq!(s.receive_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn balance_identity() {
+        let mut s = NetStats::new(2);
+        s.messages_sent = 10;
+        s.messages_delivered = 5;
+        s.messages_dropped = 2;
+        s.messages_lost = 1;
+        assert!(s.balances(2));
+        assert!(!s.balances(3));
+        // Retries and duplicates do not enter the identity directly.
+        s.retries = 4;
+        s.messages_duplicated = 3;
+        assert!(s.balances(2));
     }
 }

@@ -5,9 +5,9 @@
 use std::collections::HashMap;
 
 use mqp_catalog::{CatalogEntry, ServerId};
-use mqp_core::{Mqp, Outcome};
+use mqp_core::{Action, Mqp, Outcome, VisitRecord};
 use mqp_namespace::InterestArea;
-use mqp_net::{NodeId, SimNet, Topology};
+use mqp_net::{FaultPlan, NodeId, SimNet, Topology};
 use mqp_xml::Element;
 
 use crate::peer::Peer;
@@ -27,6 +27,15 @@ pub enum PeerMsg {
     /// Catalog registration (a base/index server announcing itself,
     /// §3.2/§3.3).
     Register(CatalogEntry),
+    /// A local retry timer (never on the wire; scheduled through
+    /// [`SimNet::schedule`] at the forwarding node).
+    Timeout {
+        /// Query whose forward is being watched.
+        qid: u64,
+        /// Token matching the forward attempt; stale tokens are
+        /// ignored.
+        token: u64,
+    },
 }
 
 impl PeerMsg {
@@ -39,8 +48,48 @@ impl PeerMsg {
                 // Server id + encoded area + level/flags.
                 e.server.as_str().len() + mqp_namespace::urn::encode_area(&e.area).len() + 16
             }
+            // Timers are local events, never charged to the network.
+            PeerMsg::Timeout { .. } => 0,
         }
     }
+}
+
+/// Timeout/retry knobs for in-flight MQP and result hops. With a policy
+/// installed, every forward with a known query id arms a timer at the
+/// sending node; if neither the next hop nor the client makes progress
+/// before it fires, the sender re-routes around the presumed-dead hop
+/// (recording the detour in provenance, DESIGN.md invariant 7) and
+/// retries, up to `max_retries` times.
+///
+/// The watch lives at the sending peer: if *that* peer crashes while
+/// its only copy is in flight, the timer dies with it and the query
+/// strands (DESIGN.md §6, liveness caveat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long a forward may stay unacknowledged (µs).
+    pub timeout_us: u64,
+    /// Retries per forward before the query is failed.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            // Comfortably above the widest-area round trip the built-in
+            // topologies produce, including jitter.
+            timeout_us: 500_000,
+            max_retries: 3,
+        }
+    }
+}
+
+/// One unacknowledged forward (MQP or result hop).
+struct InFlight {
+    token: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: PeerMsg,
+    attempts: u32,
 }
 
 /// Per-query accounting.
@@ -61,6 +110,12 @@ pub struct QueryStats {
     /// The index/meta server that bound the query's URN — what §3.4's
     /// route caches remember (filled at completion from provenance).
     pub bound_by: Option<ServerId>,
+    /// Timeout-driven retries this query needed.
+    pub retries: u64,
+    /// Provenance audit at completion: `Some(true)` when every source
+    /// in the original plan is accounted for (§5.1); `None` when the
+    /// query failed before the audit could run.
+    pub audit_clean: Option<bool>,
 }
 
 /// Final outcome of one query.
@@ -78,6 +133,12 @@ pub struct QueryOutcome {
     pub hops: u64,
     /// Total MQP bytes shipped for this query.
     pub mqp_bytes: u64,
+    /// Timeout-driven retries (detours) this query needed.
+    pub retries: u64,
+    /// §5.1 provenance audit of the completed envelope: `Some(true)`
+    /// when every original source was bound/resolved/evaluated by some
+    /// visited server — retry detours included (invariant 7).
+    pub audit_clean: Option<bool>,
 }
 
 /// A population of peers on a simulated network.
@@ -92,6 +153,12 @@ pub struct SimHarness {
     /// When true, a completed query teaches the client's route cache
     /// which server finished it (§3.4 caching).
     pub cache_learning: bool,
+    /// Timeout/retry policy; `None` (the default) preserves the
+    /// fire-and-forget behavior where a lost MQP strands its query.
+    pub retry: Option<RetryPolicy>,
+    /// Unacknowledged forwards by query id.
+    inflight: HashMap<u64, InFlight>,
+    next_token: u64,
 }
 
 impl SimHarness {
@@ -115,7 +182,23 @@ impl SimHarness {
             completed: Vec::new(),
             next_qid: 0,
             cache_learning: false,
+            retry: None,
+            inflight: HashMap::new(),
+            next_token: 0,
         }
+    }
+
+    /// Installs a fault plan on the underlying network; returns `self`
+    /// for chaining.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.net.set_fault_plan(plan);
+        self
+    }
+
+    /// Installs a retry policy; returns `self` for chaining.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     /// Node id of a peer.
@@ -200,6 +283,8 @@ impl SimHarness {
                 mqp_bytes: bytes as u64,
                 area,
                 bound_by: None,
+                retries: 0,
+                audit_clean: None,
             },
         );
         // Self-delivery starts processing at the client peer itself.
@@ -227,9 +312,129 @@ impl SimHarness {
                 PeerMsg::Mqp(wire) => {
                     self.handle_mqp(delivery.to, &wire, at);
                 }
+                PeerMsg::Timeout { qid, token } => {
+                    self.handle_timeout(qid, token, at);
+                }
             }
         }
         handled
+    }
+
+    /// Sends `msg` and, when a retry policy is active and the query id
+    /// refers to a still-pending query, arms a timeout timer at the
+    /// sending node. (Completed queries — e.g. a duplicate delivery
+    /// re-completing at a server — send untracked, so they can never
+    /// re-arm retries.)
+    fn send_tracked(
+        &mut self,
+        qid: Option<u64>,
+        from: NodeId,
+        to: NodeId,
+        msg: PeerMsg,
+        attempts: u32,
+    ) {
+        let bytes = msg.wire_bytes();
+        let qid = qid.filter(|q| self.pending.contains_key(q));
+        if let (Some(policy), Some(qid)) = (self.retry, qid) {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.inflight.insert(
+                qid,
+                InFlight {
+                    token,
+                    from,
+                    to,
+                    msg: msg.clone(),
+                    attempts,
+                },
+            );
+            self.net
+                .schedule(from, policy.timeout_us, PeerMsg::Timeout { qid, token });
+        }
+        self.net.send(from, to, bytes, msg);
+    }
+
+    /// A retry timer fired: if the watched forward is still
+    /// unacknowledged, re-route around the presumed-dead next hop and
+    /// retry, or fail the query once the retry budget is spent.
+    fn handle_timeout(&mut self, qid: u64, token: u64, at: u64) {
+        let Some(policy) = self.retry else { return };
+        if self.inflight.get(&qid).map(|f| f.token) != Some(token) {
+            return; // acknowledged or superseded; stale timer
+        }
+        if !self.pending.contains_key(&qid) {
+            // The query already completed through another path; drop
+            // the leftover watch instead of resending phantom traffic.
+            self.inflight.remove(&qid);
+            return;
+        }
+        let entry = self.inflight.remove(&qid).expect("checked above");
+        if entry.attempts >= policy.max_retries {
+            let dead = self.peers[entry.to].id().clone();
+            self.complete(
+                qid,
+                Vec::new(),
+                Some(format!(
+                    "gave up after {} retries; last hop {dead} unresponsive",
+                    entry.attempts
+                )),
+                at,
+            );
+            return;
+        }
+        self.net.stats_mut().retries += 1;
+        if let Some(stats) = self.pending.get_mut(&qid) {
+            stats.retries += 1;
+        }
+        match entry.msg {
+            PeerMsg::Mqp(wire) => {
+                let mut mqp = Mqp::from_wire(&wire).expect("tracked envelope reparses");
+                let sender = &self.peers[entry.from];
+                let dead = self.peers[entry.to].id().clone();
+                // §4.2 fallback: drop Or-alternatives that require the
+                // dead server (when others survive), then re-route.
+                let pruned = mqp_core::rewrite::prune_server_alternatives(&mut mqp.plan, &dead);
+                // The detour is provenance-visible (invariant 7).
+                mqp.record(VisitRecord {
+                    server: sender.id().clone(),
+                    action: Action::Retried,
+                    detail: if pruned > 0 {
+                        format!(
+                            "timeout waiting on {dead}; pruned {pruned} alternative(s), rerouting"
+                        )
+                    } else {
+                        format!("timeout waiting on {dead}; rerouting")
+                    },
+                    at,
+                    staleness: 0,
+                });
+                // Re-resolution: route again, excluding the dead hop —
+                // the catalog's remaining alternatives take over. With
+                // no alternative, resend to the same hop (it may be
+                // mid-churn and rejoin).
+                let next = sender
+                    .route_excluding(&mqp.plan, &mqp.visited(), &dead)
+                    .and_then(|s| self.index_of.get(&s).copied())
+                    .unwrap_or(entry.to);
+                let wire = mqp.to_wire();
+                if let Some(stats) = self.pending.get_mut(&qid) {
+                    stats.mqp_bytes += wire.len() as u64;
+                }
+                self.send_tracked(
+                    Some(qid),
+                    entry.from,
+                    next,
+                    PeerMsg::Mqp(wire),
+                    entry.attempts + 1,
+                );
+            }
+            // A result hop has a fixed destination (the client): resend
+            // as-is.
+            msg @ PeerMsg::Result { .. } => {
+                self.send_tracked(Some(qid), entry.from, entry.to, msg, entry.attempts + 1);
+            }
+            _ => {}
+        }
     }
 
     fn handle_mqp(&mut self, node: NodeId, wire: &str, at: u64) {
@@ -245,6 +450,12 @@ impl SimHarness {
             .target()
             .and_then(|t| t.rsplit_once('#'))
             .and_then(|(_, q)| q.parse::<u64>().ok());
+        // The forward arrived: disarm its retry timer.
+        if let Some(q) = qid {
+            if self.inflight.get(&q).is_some_and(|f| f.to == node) {
+                self.inflight.remove(&q);
+            }
+        }
         let peer = &self.peers[node];
         peer.set_clock(at);
         let outcome = peer.process(&mut mqp);
@@ -261,6 +472,12 @@ impl SimHarness {
                 if let Some(qid) = qid {
                     if let Some(stats) = self.pending.get_mut(&qid) {
                         stats.bound_by = binder;
+                        // §5.1 audit at the completing server: every
+                        // source of the original plan must be accounted
+                        // for by some visit — detours included.
+                        stats.audit_clean = mqp.original.as_ref().map(|orig| {
+                            mqp_core::unaccounted_sources(orig, &mqp.provenance).is_empty()
+                        });
                     }
                 }
                 let (client_node, _) = match target.as_deref().and_then(|t| t.rsplit_once('#')) {
@@ -277,11 +494,10 @@ impl SimHarness {
                             qid,
                             items: items_xml,
                         };
-                        let bytes = msg.wire_bytes();
                         if let Some(stats) = self.pending.get_mut(&qid) {
                             stats.hops += 1;
                         }
-                        self.net.send(node, client, bytes, msg);
+                        self.send_tracked(Some(qid), node, client, msg, 0);
                     }
                     _ => {
                         // No routable target: record completion in place.
@@ -311,7 +527,7 @@ impl SimHarness {
                         stats.mqp_bytes += bytes as u64;
                     }
                 }
-                self.net.send(node, next, bytes, PeerMsg::Mqp(wire));
+                self.send_tracked(qid, node, next, PeerMsg::Mqp(wire), 0);
             }
             Outcome::Stuck { reason } => {
                 if let Some(qid) = qid {
@@ -331,6 +547,10 @@ impl SimHarness {
     }
 
     fn complete(&mut self, qid: u64, items: Vec<Element>, failure: Option<String>, at: u64) {
+        // Disarm any watch first, even for an already-completed qid —
+        // a duplicate completion must not leave a timer that would
+        // resend traffic for a finished query.
+        self.inflight.remove(&qid);
         let Some(stats) = self.pending.remove(&qid) else {
             return;
         };
@@ -354,6 +574,8 @@ impl SimHarness {
             latency_us: at.saturating_sub(stats.submitted_at),
             hops: stats.hops,
             mqp_bytes: stats.mqp_bytes,
+            retries: stats.retries,
+            audit_clean: stats.audit_clean,
         });
     }
 
@@ -514,11 +736,102 @@ mod tests {
         );
         h.submit(0, plan);
         h.run(1000);
-        // The MQP died at the failed node: nothing completes, the
-        // query stays pending (a timeout policy is the client's job).
+        // The MQP died at the failed node: without a retry policy,
+        // nothing completes and the query stays pending.
         assert_eq!(h.completed().len(), 0);
         assert_eq!(h.pending_count(), 1);
         assert!(h.net.stats().messages_dropped >= 1);
+    }
+
+    #[test]
+    fn retry_detours_to_or_alternative_around_dead_server() {
+        let mut h = world().with_retry(RetryPolicy::default());
+        h.net.fail(2); // seller-1 is dead for the whole run
+                       // Either seller alone satisfies the query (§4.2 Or).
+        let plan = Plan::or([Plan::url("mqp://seller-1/"), Plan::url("mqp://seller-2/")]);
+        h.submit(0, plan);
+        h.run(10_000);
+        assert_eq!(h.pending_count(), 0);
+        let done = h.completed();
+        assert_eq!(done.len(), 1);
+        let q = &done[0];
+        // The forward to seller-1 timed out; the client reran routing
+        // excluding it, landed on seller-2, which committed its own
+        // alternative and completed.
+        assert!(q.failure.is_none(), "{:?}", q.failure);
+        assert_eq!(q.items.len(), 1);
+        assert_eq!(q.items[0].field("title").as_deref(), Some("C"));
+        assert!(
+            q.retries >= 1,
+            "expected a detour, got {} retries",
+            q.retries
+        );
+        // Invariant 7: the detour is audit-clean.
+        assert_eq!(q.audit_clean, Some(true));
+        assert_eq!(h.net.stats().retries, q.retries);
+    }
+
+    #[test]
+    fn retries_exhaust_into_failure_when_no_alternative_exists() {
+        let mut h = world().with_retry(RetryPolicy {
+            timeout_us: 200_000,
+            max_retries: 2,
+        });
+        h.net.fail(2); // seller-1 holds data nothing else replicates
+        let plan = Plan::select(
+            "price < 10",
+            Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds()))),
+        );
+        h.submit(0, plan);
+        h.run(100_000);
+        // The query no longer strands: it completes with an explicit
+        // failure after the retry budget is spent.
+        assert_eq!(h.pending_count(), 0);
+        let done = h.completed();
+        assert_eq!(done.len(), 1);
+        let q = &done[0];
+        assert!(q.failure.as_deref().unwrap_or("").contains("retries"));
+        assert!(q.retries >= 1);
+    }
+
+    #[test]
+    fn retry_reaches_server_that_rejoins_mid_query() {
+        use mqp_net::{ChurnEvent, FaultPlan};
+        // Seller-1 is down from the start but rejoins at t = 300ms;
+        // the retry loop keeps knocking and eventually gets through.
+        let mut h = world()
+            .with_retry(RetryPolicy {
+                timeout_us: 250_000,
+                max_retries: 5,
+            })
+            .with_fault_plan(FaultPlan::new(1).with_churn(vec![
+                ChurnEvent {
+                    at: 1,
+                    node: 2,
+                    up: false,
+                },
+                ChurnEvent {
+                    at: 300_000,
+                    node: 2,
+                    up: true,
+                },
+            ]));
+        let plan = Plan::select(
+            "price < 10",
+            Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds()))),
+        );
+        h.submit(0, plan);
+        h.run(100_000);
+        assert_eq!(h.pending_count(), 0);
+        let done = h.completed();
+        assert_eq!(done.len(), 1);
+        let q = &done[0];
+        assert!(q.failure.is_none(), "{:?}", q.failure);
+        let mut titles: Vec<String> = q.items.iter().filter_map(|i| i.field("title")).collect();
+        titles.sort();
+        assert_eq!(titles, ["A", "C"]);
+        assert!(q.retries >= 1);
+        assert_eq!(q.audit_clean, Some(true));
     }
 }
 

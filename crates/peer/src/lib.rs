@@ -20,6 +20,6 @@ pub mod harness;
 pub mod peer;
 pub mod store;
 
-pub use harness::{PeerMsg, QueryOutcome, QueryStats, SimHarness};
+pub use harness::{PeerMsg, QueryOutcome, QueryStats, RetryPolicy, SimHarness};
 pub use peer::Peer;
 pub use store::{Collection, LocalStore};

@@ -135,6 +135,24 @@ impl Peer {
         self.processor.process(mqp, self)
     }
 
+    /// Re-resolution after a failed forward: routes `plan` as
+    /// [`ServerContext::route`] would, but additionally skipping
+    /// `exclude` (the next-hop presumed crashed). Falls back to the
+    /// catalog's alternatives for the plan's interest areas — the
+    /// mobility argument of §2: any peer can re-route an in-flight MQP.
+    pub fn route_excluding(
+        &self,
+        plan: &Plan,
+        visited: &[ServerId],
+        exclude: &ServerId,
+    ) -> Option<ServerId> {
+        let mut avoid: Vec<ServerId> = visited.to_vec();
+        if !avoid.contains(exclude) {
+            avoid.push(exclude.clone());
+        }
+        ServerContext::route(self, plan, &avoid)
+    }
+
     /// Decodes the `area` annotation on a URL, if present.
     fn url_area(url: &UrlRef) -> Option<InterestArea> {
         let spec = url.meta.get("area")?;

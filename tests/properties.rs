@@ -88,6 +88,52 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DESIGN.md invariant 6 extended to the §6 fault model: for *any*
+    /// fault-plan seed and knob setting, identical `FaultPlan`s produce
+    /// identical delivery traces, statistics, and clocks — loss,
+    /// jitter-reordering, duplication, and churn included.
+    #[test]
+    fn fault_plans_are_deterministic(
+        seed in 0u64..=u64::MAX,
+        loss in 0u32..40,
+        jitter in 0u32..30,
+        dup in 0u32..25,
+        crashes in 0usize..8,
+    ) {
+        use mqp::net::{FaultPlan, SimNet, Topology};
+
+        let plan = FaultPlan::new(seed)
+            .with_loss(f64::from(loss) / 100.0)
+            .with_jitter(f64::from(jitter) / 10.0)
+            .with_duplication(f64::from(dup) / 100.0)
+            .with_generated_churn(&[5, 6, 7, 8, 9, 10, 11], crashes, 500_000, 50_000);
+        let run = || {
+            let mut net: SimNet<u32> =
+                SimNet::with_faults(Topology::clustered(12, 4, 50, 3_000), plan.clone());
+            // A fixed send pattern with reactive re-sends, so the trace
+            // depends on delivery order too (not just the send prefix).
+            for i in 0..30usize {
+                net.send(i % 12, (i * 7 + 2) % 12, 10 + i, i as u32);
+            }
+            let mut trace = Vec::new();
+            while let Some(d) = net.step() {
+                if d.payload < 30 && d.payload % 5 == 0 {
+                    net.send(d.to, (d.to + 1) % 12, 8, d.payload + 100);
+                }
+                trace.push((d.at, d.from, d.to, d.payload));
+            }
+            let balanced = net.stats().balances(net.in_flight());
+            (trace, net.stats().clone(), net.now(), balanced)
+        };
+        let first = run();
+        prop_assert!(first.3, "accounting identity broken");
+        prop_assert_eq!(first, run());
+    }
+}
+
 /// The whole simulation harness is deterministic: identical worlds and
 /// query streams yield identical outcomes, bytes, and clocks.
 #[test]
