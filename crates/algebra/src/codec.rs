@@ -26,8 +26,9 @@
 use std::fmt;
 
 use mqp_namespace::Urn;
+use mqp_xml::serialize::escape_into;
 use mqp_xml::xpath::Path;
-use mqp_xml::{Element, Node};
+use mqp_xml::{serialize_into, Element, Node};
 
 use crate::plan::{Annotations, JoinCond, OrAlt, Plan, UrlRef, UrnRef};
 use crate::predicate::{AggFunc, Predicate};
@@ -155,6 +156,147 @@ fn is_reserved_attr(elem: &str, key: &str) -> bool {
         (elem, key),
         ("url", "href") | ("url", "collection") | ("urn", "name")
     )
+}
+
+// ----------------------------------------------------------------------
+// Direct serialization: plan → wire bytes without an intermediate
+// Element tree.
+// ----------------------------------------------------------------------
+
+/// Serializes `plan` straight into `out`, byte-identical to
+/// `mqp_xml::serialize(&plan_to_xml(plan))` (property-tested in
+/// `proptests.rs`). This is the hot-path serializer: it never clones
+/// data items and never materializes the XML tree, so a hop that ships
+/// a plan onward pays only for the output bytes.
+pub fn write_plan(plan: &Plan, out: &mut String) {
+    match plan {
+        Plan::Data { items, meta } => {
+            out.push_str("<data");
+            write_meta_attrs(out, "data", meta);
+            if items.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for item in items {
+                    serialize_into(item, out);
+                }
+                out.push_str("</data>");
+            }
+        }
+        Plan::Url(u) => {
+            out.push_str("<url");
+            push_attr(out, "href", &u.href);
+            if let Some(c) = &u.collection {
+                push_attr(out, "collection", &c.to_string());
+            }
+            write_meta_attrs(out, "url", &u.meta);
+            out.push_str("/>");
+        }
+        Plan::Urn(u) => {
+            out.push_str("<urn");
+            push_attr(out, "name", &u.urn.to_string());
+            write_meta_attrs(out, "urn", &u.meta);
+            out.push_str("/>");
+        }
+        Plan::Select { pred, input } => {
+            out.push_str("<select");
+            push_attr(out, "pred", &pred.to_string());
+            out.push('>');
+            write_plan(input, out);
+            out.push_str("</select>");
+        }
+        Plan::Project { fields, input } => {
+            out.push_str("<project");
+            push_attr(out, "fields", &fields.join(","));
+            out.push('>');
+            write_plan(input, out);
+            out.push_str("</project>");
+        }
+        Plan::Join { on, left, right } => {
+            out.push_str("<join");
+            push_attr(out, "left", &on.left_path.to_string());
+            push_attr(out, "right", &on.right_path.to_string());
+            out.push('>');
+            write_plan(left, out);
+            write_plan(right, out);
+            out.push_str("</join>");
+        }
+        Plan::Union(inputs) => {
+            if inputs.is_empty() {
+                out.push_str("<union/>");
+            } else {
+                out.push_str("<union>");
+                for i in inputs {
+                    write_plan(i, out);
+                }
+                out.push_str("</union>");
+            }
+        }
+        Plan::Or(alts) => {
+            if alts.is_empty() {
+                out.push_str("<or/>");
+            } else {
+                out.push_str("<or>");
+                for a in alts {
+                    out.push_str("<alt");
+                    if let Some(m) = a.staleness {
+                        push_attr(out, "staleness", &m.to_string());
+                    }
+                    out.push('>');
+                    write_plan(&a.plan, out);
+                    out.push_str("</alt>");
+                }
+                out.push_str("</or>");
+            }
+        }
+        Plan::Aggregate { func, path, input } => {
+            out.push_str("<agg");
+            push_attr(out, "func", func.name());
+            if let Some(p) = path {
+                push_attr(out, "path", &p.to_string());
+            }
+            out.push('>');
+            write_plan(input, out);
+            out.push_str("</agg>");
+        }
+        Plan::TopN {
+            n,
+            key,
+            ascending,
+            input,
+        } => {
+            out.push_str("<topn");
+            push_attr(out, "n", &n.to_string());
+            push_attr(out, "key", &key.to_string());
+            push_attr(out, "order", if *ascending { "asc" } else { "desc" });
+            out.push('>');
+            write_plan(input, out);
+            out.push_str("</topn>");
+        }
+        Plan::Display { target, input } => {
+            out.push_str("<display");
+            push_attr(out, "target", target);
+            out.push('>');
+            write_plan(input, out);
+            out.push_str("</display>");
+        }
+    }
+}
+
+fn push_attr(out: &mut String, name: &str, value: &str) {
+    out.push(' ');
+    out.push_str(name);
+    out.push_str("=\"");
+    escape_into(value, true, out);
+    out.push('"');
+}
+
+fn write_meta_attrs(out: &mut String, elem: &str, meta: &Annotations) {
+    for (k, v) in meta.iter() {
+        if !is_reserved_attr(elem, k) {
+            push_attr(out, k, v);
+        }
+    }
 }
 
 /// Decodes a plan from its XML element form.
@@ -345,20 +487,335 @@ fn only_child(e: &Element) -> Result<Plan, CodecError> {
     plan_from_xml(kids[0])
 }
 
-/// Serializes a plan to the compact XML wire string.
+/// Serializes a plan to the compact XML wire string (via
+/// [`write_plan`], so no intermediate tree is built).
 pub fn to_wire(plan: &Plan) -> String {
-    mqp_xml::serialize(&plan_to_xml(plan))
+    let mut out = String::with_capacity(128);
+    write_plan(plan, &mut out);
+    out
 }
 
 /// Parses a plan from the XML wire string.
+///
+/// Fast path: canonical wire bytes (everything [`to_wire`] produced,
+/// i.e. the entire hop-to-hop path) decode straight from the zero-copy
+/// tokenizer into a [`Plan`] — no intermediate XML tree for operator
+/// nodes and no deep-cloning data items out of one. Anything else falls
+/// back to [`from_wire_tree`], which also produces the real error for
+/// malformed input.
 pub fn from_wire(s: &str) -> Result<Plan, CodecError> {
-    let mut root = mqp_xml::parse(s)?;
+    if let Some(plan) = plan_from_canonical(s) {
+        return Ok(plan);
+    }
+    from_wire_tree(s)
+}
+
+/// The tree-building decode path: lenient parse, whitespace trim, then
+/// [`plan_from_xml`]. Kept callable on its own as the fallback for
+/// non-canonical input and as the pre-zero-copy baseline that
+/// `bench_report` measures speedups against.
+pub fn from_wire_tree(s: &str) -> Result<Plan, CodecError> {
+    let mut root = mqp_xml::parse_document(s)?;
     // Pretty-printed plans carry inter-element whitespace; it is not
     // data (verbatim items keep their own text intact because trimming
     // only removes whitespace-only nodes... which *could* matter inside
     // data items, so only trim operator levels).
     trim_operator_whitespace(&mut root);
     plan_from_xml(&root)
+}
+
+/// What [`plan_from_tokens`] should do with verbatim data items: build
+/// them as XML trees, or validate-and-skip them. `Skip` makes the
+/// decoder a *validator* — it accepts exactly the same inputs (the
+/// skip/build equivalence is property-tested in `mqp-xml`) while doing
+/// none of the item allocation, which is how the envelope layer
+/// validates its `<original>` section without materializing it.
+pub enum ItemSink<'a> {
+    /// Materialize items through this builder.
+    Build(&'a mut mqp_xml::TreeBuilder),
+    /// Validate items but build nothing (data leaves decode with empty
+    /// item lists — use only when the decoded plan is discarded).
+    Skip,
+}
+
+impl ItemSink<'_> {
+    fn item(
+        &mut self,
+        tok: &mut mqp_xml::Tokenizer<'_>,
+        name: &str,
+        out: &mut Vec<Element>,
+    ) -> Result<(), mqp_xml::NotCanonical> {
+        match self {
+            ItemSink::Build(tb) => out.push(tb.build(tok, name)?),
+            ItemSink::Skip => mqp_xml::skip_subtree(tok, name)?,
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a whole canonical document as a plan, or `None` to fall
+/// back (non-canonical bytes *or* anything the token decoder cannot
+/// express an error for — the fallback rediscovers the precise error).
+pub fn plan_from_canonical(s: &str) -> Option<Plan> {
+    let mut tok = mqp_xml::Tokenizer::new(s);
+    let Ok(Some(mqp_xml::Token::Open(name))) = tok.next_token() else {
+        return None;
+    };
+    let mut tb = mqp_xml::TreeBuilder::new();
+    let plan = plan_from_tokens(&mut tok, &mut ItemSink::Build(&mut tb), name).ok()?;
+    matches!(tok.next_token(), Ok(None)).then_some(plan)
+}
+
+/// Decodes the operator element whose `Open(name)` token was just
+/// consumed. Mirrors [`plan_from_xml`] exactly — same attribute
+/// handling, same tolerance for stray text at operator level (ignored),
+/// same verbatim treatment of data items (routed through `items`) —
+/// but any problem at all yields `Err` so the caller can fall back to
+/// the tree path for diagnosis.
+pub fn plan_from_tokens(
+    tok: &mut mqp_xml::Tokenizer<'_>,
+    items: &mut ItemSink<'_>,
+    name: &str,
+) -> Result<Plan, mqp_xml::NotCanonical> {
+    use mqp_xml::{NotCanonical, Token};
+
+    // Attributes arrive before we know the children.
+    let mut attrs: Vec<(&str, std::borrow::Cow<'_, str>)> = Vec::new();
+    let self_closed = loop {
+        match tok.next_token()?.ok_or(NotCanonical)? {
+            Token::Attr { name, value } => {
+                if attrs.iter().any(|(n, _)| *n == name) {
+                    return Err(NotCanonical);
+                }
+                attrs.push((name, value));
+            }
+            Token::OpenEnd => break false,
+            Token::SelfClose => break true,
+            _ => return Err(NotCanonical),
+        }
+    };
+    let attr = |key: &str| {
+        attrs
+            .iter()
+            .find(|(n, _)| *n == key)
+            .map(|(_, v)| v.as_ref())
+    };
+
+    // Leaves first: they own their children loops.
+    match name {
+        "data" => {
+            let mut meta = Annotations::new();
+            for (k, v) in &attrs {
+                meta.set(*k, v.clone());
+            }
+            let mut out = Vec::new();
+            if !self_closed {
+                loop {
+                    match tok.next_token()?.ok_or(NotCanonical)? {
+                        Token::Open(n) => items.item(tok, n, &mut out)?,
+                        Token::Text(_) => {} // formatting; ignored like plan_from_xml
+                        Token::Close("data") => break,
+                        _ => return Err(NotCanonical),
+                    }
+                }
+            }
+            return Ok(Plan::Data { items: out, meta });
+        }
+        "url" => {
+            let href = attr("href").ok_or(NotCanonical)?.to_owned();
+            let collection = match attr("collection") {
+                Some(c) => Some(Path::parse(c).map_err(|_| NotCanonical)?),
+                None => None,
+            };
+            let mut meta = Annotations::new();
+            for (k, v) in &attrs {
+                if *k != "href" && *k != "collection" {
+                    meta.set(*k, v.clone());
+                }
+            }
+            let plan = Plan::Url(UrlRef {
+                href,
+                collection,
+                meta,
+            });
+            return finish_leaf(tok, name, self_closed, plan);
+        }
+        "urn" => {
+            let urn = Urn::parse(attr("name").ok_or(NotCanonical)?).map_err(|_| NotCanonical)?;
+            let mut meta = Annotations::new();
+            for (k, v) in &attrs {
+                if *k != "name" {
+                    meta.set(*k, v.clone());
+                }
+            }
+            let plan = Plan::Urn(UrnRef { urn, meta });
+            return finish_leaf(tok, name, self_closed, plan);
+        }
+        _ => {}
+    }
+
+    // Interior operators: decode the element-children plans, ignoring
+    // stray text (plan_from_xml never looks at it either).
+    let mut kids: Vec<Plan> = Vec::new();
+    let mut or_alts: Vec<OrAlt> = Vec::new();
+    let is_or = name == "or";
+    if !self_closed {
+        loop {
+            match tok.next_token()?.ok_or(NotCanonical)? {
+                Token::Open(n) => {
+                    if is_or {
+                        or_alts.push(alt_from_tokens(tok, items, n)?);
+                    } else {
+                        kids.push(plan_from_tokens(tok, items, n)?);
+                    }
+                }
+                Token::Text(_) => {}
+                Token::Close(c) if c == name => break,
+                _ => return Err(NotCanonical),
+            }
+        }
+    }
+    fn only_one(kids: Vec<Plan>) -> Result<Box<Plan>, mqp_xml::NotCanonical> {
+        let mut it = kids.into_iter();
+        let first = it.next().ok_or(mqp_xml::NotCanonical)?;
+        if it.next().is_some() {
+            return Err(mqp_xml::NotCanonical);
+        }
+        Ok(Box::new(first))
+    }
+    match name {
+        "select" => Ok(Plan::Select {
+            pred: Predicate::parse(attr("pred").ok_or(NotCanonical)?).map_err(|_| NotCanonical)?,
+            input: only_one(kids)?,
+        }),
+        "project" => Ok(Plan::Project {
+            fields: attr("fields")
+                .ok_or(NotCanonical)?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect(),
+            input: only_one(kids)?,
+        }),
+        "join" => {
+            let on = JoinCond {
+                left_path: Path::parse(attr("left").ok_or(NotCanonical)?)
+                    .map_err(|_| NotCanonical)?,
+                right_path: Path::parse(attr("right").ok_or(NotCanonical)?)
+                    .map_err(|_| NotCanonical)?,
+            };
+            if kids.len() != 2 {
+                return Err(NotCanonical);
+            }
+            let mut it = kids.into_iter();
+            let left = Box::new(it.next().expect("len checked"));
+            let right = Box::new(it.next().expect("len checked"));
+            Ok(Plan::Join { on, left, right })
+        }
+        "union" => Ok(Plan::Union(kids)),
+        "or" => {
+            if or_alts.is_empty() {
+                return Err(NotCanonical);
+            }
+            Ok(Plan::Or(or_alts))
+        }
+        "agg" => Ok(Plan::Aggregate {
+            func: AggFunc::parse(attr("func").ok_or(NotCanonical)?).ok_or(NotCanonical)?,
+            path: match attr("path") {
+                Some(p) => Some(Path::parse(p).map_err(|_| NotCanonical)?),
+                None => None,
+            },
+            input: only_one(kids)?,
+        }),
+        "topn" => Ok(Plan::TopN {
+            n: attr("n")
+                .ok_or(NotCanonical)?
+                .parse()
+                .map_err(|_| NotCanonical)?,
+            key: Path::parse(attr("key").ok_or(NotCanonical)?).map_err(|_| NotCanonical)?,
+            ascending: match attr("order").unwrap_or("asc") {
+                "asc" => true,
+                "desc" => false,
+                _ => return Err(NotCanonical),
+            },
+            input: only_one(kids)?,
+        }),
+        "display" => Ok(Plan::Display {
+            target: attr("target").ok_or(NotCanonical)?.to_owned(),
+            input: only_one(kids)?,
+        }),
+        _ => Err(NotCanonical),
+    }
+}
+
+/// Consumes the closing tag of a childless leaf; a leaf written long
+/// form is not canonical output, so fall back rather than guess.
+fn finish_leaf(
+    tok: &mut mqp_xml::Tokenizer<'_>,
+    name: &str,
+    self_closed: bool,
+    plan: Plan,
+) -> Result<Plan, mqp_xml::NotCanonical> {
+    use mqp_xml::{NotCanonical, Token};
+    if self_closed {
+        return Ok(plan);
+    }
+    loop {
+        match tok.next_token()?.ok_or(NotCanonical)? {
+            Token::Text(_) => {}
+            Token::Close(c) if c == name => return Ok(plan),
+            _ => return Err(NotCanonical),
+        }
+    }
+}
+
+fn alt_from_tokens(
+    tok: &mut mqp_xml::Tokenizer<'_>,
+    items: &mut ItemSink<'_>,
+    name: &str,
+) -> Result<OrAlt, mqp_xml::NotCanonical> {
+    use mqp_xml::{NotCanonical, Token};
+    if name != "alt" {
+        return Err(NotCanonical);
+    }
+    let mut staleness = None;
+    let mut plan = None;
+    let self_closed = loop {
+        match tok.next_token()?.ok_or(NotCanonical)? {
+            Token::Attr {
+                name: "staleness",
+                value,
+            } => {
+                if staleness.is_some() {
+                    return Err(NotCanonical);
+                }
+                staleness = Some(value.parse().map_err(|_| NotCanonical)?);
+            }
+            Token::Attr { .. } => return Err(NotCanonical), // foreign attr: fall back
+            Token::OpenEnd => break false,
+            Token::SelfClose => break true,
+            _ => return Err(NotCanonical),
+        }
+    };
+    if !self_closed {
+        loop {
+            match tok.next_token()?.ok_or(NotCanonical)? {
+                Token::Open(n) => {
+                    if plan.is_some() {
+                        return Err(NotCanonical);
+                    }
+                    plan = Some(plan_from_tokens(tok, items, n)?);
+                }
+                Token::Text(_) => {}
+                Token::Close("alt") => break,
+                _ => return Err(NotCanonical),
+            }
+        }
+    }
+    Ok(OrAlt {
+        plan: plan.ok_or(NotCanonical)?,
+        staleness,
+    })
 }
 
 /// Removes whitespace-only text nodes from operator elements (not from
@@ -388,9 +845,11 @@ fn trim_operator_whitespace(e: &mut Element) {
 /// Exact byte size of the plan on the wire — what the network simulator
 /// charges when a server ships a mutated plan onward (§2: "We have to
 /// transfer these partial results over the network; their size
-/// matters").
+/// matters"). Serializes directly (no tree, no item clones), so it is
+/// cheaper than the old build-the-tree-and-measure path despite
+/// materializing the string.
 pub fn wire_size(plan: &Plan) -> usize {
-    plan_to_xml(plan).serialized_len()
+    to_wire(plan).len()
 }
 
 #[cfg(test)]

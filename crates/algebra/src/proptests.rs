@@ -102,6 +102,17 @@ proptest! {
         prop_assert_eq!(back, plan);
     }
 
+    /// The direct serializer ([`crate::codec::write_plan`]) is
+    /// byte-identical to serializing the intermediate Element tree —
+    /// the invariant that keeps golden wire traces unchanged while the
+    /// hot path skips the tree entirely.
+    #[test]
+    fn direct_serializer_matches_tree_serializer(plan in arb_plan()) {
+        let direct = to_wire(&plan);
+        let via_tree = mqp_xml::serialize(&crate::codec::plan_to_xml(&plan));
+        prop_assert_eq!(direct, via_tree);
+    }
+
     #[test]
     fn wire_size_exact(plan in arb_plan()) {
         prop_assert_eq!(wire_size(&plan), to_wire(&plan).len());

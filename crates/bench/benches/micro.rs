@@ -55,6 +55,27 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_envelope(c: &mut Criterion) {
+    use mqp_core::Mqp;
+    let mut g = c.benchmark_group("envelope");
+    for &n in &[100usize, 1_000] {
+        let plan = Plan::display(
+            "client#0",
+            Plan::select("price < 10", Plan::data(collection(n))),
+        );
+        let wire = Mqp::new(plan).to_wire();
+        g.throughput(Throughput::Bytes(wire.len() as u64));
+        g.bench_with_input(BenchmarkId::new("from_wire", n), &wire, |b, w| {
+            b.iter(|| Mqp::from_wire(w).unwrap());
+        });
+        let arrived = Mqp::from_wire(&wire).unwrap();
+        g.bench_with_input(BenchmarkId::new("to_wire_spliced", n), &arrived, |b, m| {
+            b.iter(|| m.to_wire());
+        });
+    }
+    g.finish();
+}
+
 fn bench_namespace(c: &mut Criterion) {
     let mut g = c.benchmark_group("namespace");
     let areas: Vec<InterestArea> = (0..64)
@@ -78,5 +99,11 @@ fn bench_namespace(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_xml, bench_engine, bench_namespace);
+criterion_group!(
+    benches,
+    bench_xml,
+    bench_envelope,
+    bench_engine,
+    bench_namespace
+);
 criterion_main!(benches);

@@ -1,0 +1,422 @@
+//! `bench_report` — the committed wire-path performance trajectory
+//! behind `BENCH_wire.json` (DESIGN.md §7).
+//!
+//! Measures the serialization/allocation hot path at the largest
+//! Figure-2 collection size, comparing the **current** implementation
+//! against the **legacy** paths this PR replaced — both still live in
+//! the tree ([`mqp_xml::parse_document`] is the lenient parser,
+//! `serialize(&plan_to_xml(..))` / `serialize(&mqp.to_xml())` the
+//! tree-building serializers) — so the reported speedups are ratios
+//! measured on the *same machine in the same run*, not absolute numbers
+//! compared across hardware.
+//!
+//! Modes:
+//!
+//! * no args — print the JSON report to stdout;
+//! * `--update` — rewrite `BENCH_wire.json` at the workspace root;
+//! * `--check` — re-measure and fail (exit 1) unless the fresh
+//!   speedups meet the committed floors (≥ 3× zero-copy parse, ≥ 2×
+//!   per-hop serialize) and are within 20% of the committed ratios
+//!   (the CI `perf-report` regression gate).
+
+use std::time::Instant;
+
+use mqp_algebra::codec::{plan_to_xml, to_wire};
+use mqp_algebra::plan::{JoinCond, Plan};
+use mqp_bench::{fig2_collection, fig2_songs};
+use mqp_catalog::ServerId;
+use mqp_core::{Action, Mqp, VisitRecord};
+
+/// Largest Figure-2 collection size (see `exp_fig2_pipeline`).
+const ITEMS: usize = 100_000;
+/// Provenance depth of the benchmarked envelope: a mid-flight plan.
+const VISITS: usize = 8;
+/// Timing iterations per measurement (best-of, to shed scheduler noise).
+const ITERS: usize = 5;
+
+/// Speedup floors the PR committed to (also enforced by `--check`).
+const PARSE_FLOOR: f64 = 3.0;
+const SERIALIZE_FLOOR: f64 = 2.0;
+/// Allowed drift versus the committed ratios before `--check` fails.
+const DRIFT: f64 = 0.20;
+
+fn fig2_plan() -> Plan {
+    Plan::display(
+        "client#0",
+        Plan::join(
+            JoinCond::on("album", "title"),
+            Plan::data(fig2_songs(ITEMS / 10)),
+            Plan::select("price < 10", Plan::data(fig2_collection(ITEMS))),
+        ),
+    )
+}
+
+fn envelope() -> Mqp {
+    let mut m = Mqp::new(fig2_plan());
+    for i in 0..VISITS {
+        m.record(VisitRecord {
+            server: ServerId::new(format!("server-{i}")),
+            action: if i == 0 {
+                Action::Bound
+            } else {
+                Action::Forwarded
+            },
+            detail: format!("hop {i}: urn:ForSale:Portland-CDs -> mqp://seller-{i}/"),
+            at: i as u64 * 1_000,
+            staleness: 0,
+        });
+    }
+    m
+}
+
+/// Best-of-`ITERS` wall time of `f`, in seconds.
+fn time_best(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn mb_per_s(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / 1e6 / secs
+}
+
+struct Report {
+    wire_bytes: usize,
+    envelope_bytes: usize,
+    parse_legacy_mb_s: f64,
+    parse_zero_copy_mb_s: f64,
+    ser_legacy_mb_s: f64,
+    ser_direct_mb_s: f64,
+    hop_ser_legacy_us: f64,
+    hop_ser_cached_us: f64,
+    hop_legacy_us: f64,
+    hop_zero_copy_us: f64,
+    fig2_pipeline_s: f64,
+    routing_slice_s: f64,
+}
+
+impl Report {
+    fn parse_speedup(&self) -> f64 {
+        self.parse_zero_copy_mb_s / self.parse_legacy_mb_s
+    }
+    fn serialize_speedup(&self) -> f64 {
+        self.hop_ser_legacy_us / self.hop_ser_cached_us
+    }
+    fn plan_serialize_speedup(&self) -> f64 {
+        self.ser_direct_mb_s / self.ser_legacy_mb_s
+    }
+    fn hop_speedup(&self) -> f64 {
+        self.hop_legacy_us / self.hop_zero_copy_us
+    }
+
+    fn to_json(&self) -> String {
+        // Hand-rolled (the workspace is dependency-free): two decimal
+        // places keep diffs readable; machine-dependent absolutes are
+        // informational, the speedup ratios are the contract.
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut section = |name: &str, fields: &[(&str, String)], last: bool| {
+            let _ = writeln!(out, "  \"{name}\": {{");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                let comma = if i + 1 < fields.len() { "," } else { "" };
+                let _ = writeln!(out, "    \"{k}\": {v}{comma}");
+            }
+            let _ = writeln!(out, "  }}{}", if last { "" } else { "," });
+        };
+        let f = |x: f64| format!("{x:.2}");
+        let s = |x: f64| format!("{x:.3}");
+        section(
+            "workload",
+            &[
+                ("items", ITEMS.to_string()),
+                ("visits", VISITS.to_string()),
+                ("plan_wire_bytes", self.wire_bytes.to_string()),
+                ("envelope_wire_bytes", self.envelope_bytes.to_string()),
+            ],
+            false,
+        );
+        section(
+            "parse",
+            &[
+                ("legacy_mb_s", f(self.parse_legacy_mb_s)),
+                ("zero_copy_mb_s", f(self.parse_zero_copy_mb_s)),
+                ("speedup", f(self.parse_speedup())),
+            ],
+            false,
+        );
+        section(
+            "plan_serialize",
+            &[
+                ("legacy_tree_mb_s", f(self.ser_legacy_mb_s)),
+                ("direct_mb_s", f(self.ser_direct_mb_s)),
+                ("speedup", f(self.plan_serialize_speedup())),
+            ],
+            false,
+        );
+        section(
+            "per_hop_serialize",
+            &[
+                ("legacy_us", f(self.hop_ser_legacy_us)),
+                ("cached_us", f(self.hop_ser_cached_us)),
+                ("speedup", f(self.serialize_speedup())),
+            ],
+            false,
+        );
+        section(
+            "per_hop_envelope",
+            &[
+                ("legacy_us", f(self.hop_legacy_us)),
+                ("zero_copy_us", f(self.hop_zero_copy_us)),
+                ("speedup", f(self.hop_speedup())),
+            ],
+            false,
+        );
+        section(
+            "end_to_end",
+            &[
+                ("fig2_pipeline_s", s(self.fig2_pipeline_s)),
+                ("routing_slice_s", s(self.routing_slice_s)),
+            ],
+            false,
+        );
+        section(
+            "floors",
+            &[
+                ("parse_speedup_min", f(PARSE_FLOOR)),
+                ("per_hop_serialize_speedup_min", f(SERIALIZE_FLOOR)),
+            ],
+            true,
+        );
+        format!("{{\n  \"schema\": \"bench_wire/v1\",\n{out}}}\n")
+    }
+}
+
+fn measure() -> Report {
+    let plan = fig2_plan();
+    let wire = to_wire(&plan);
+    let wire_bytes = wire.len();
+
+    // Parse throughput, measured on the envelope a hop actually
+    // receives (Figure 2's parse stage): the pre-PR tree path —
+    // lenient recursive-descent parse + tree decode — vs the zero-copy
+    // token walk (direct token→Plan decode, `<original>` validated but
+    // materialized lazily).
+    let env_wire = envelope().to_wire();
+    let envelope_bytes = env_wire.len();
+    let parse_legacy = time_best(|| {
+        let root = mqp_xml::parse_document(&env_wire).expect("legacy parse");
+        std::hint::black_box(Mqp::from_xml(&root).expect("legacy decode"));
+    });
+    let parse_zero_copy = time_best(|| {
+        std::hint::black_box(Mqp::from_wire(&env_wire).expect("zero-copy decode"));
+    });
+
+    // Plan serialization: tree-building (clones every data item) vs
+    // the direct writer.
+    let ser_legacy = time_best(|| {
+        std::hint::black_box(mqp_xml::serialize(&plan_to_xml(&plan)));
+    });
+    let ser_direct = time_best(|| {
+        std::hint::black_box(to_wire(&plan));
+    });
+
+    // Per-hop re-serialization: the envelope arrived over the wire
+    // (fragment caches seeded), the hop records one provenance visit
+    // and ships the envelope on. Legacy rebuilds the whole XML tree;
+    // the cached path serializes the new visit and splices everything
+    // else.
+    let mut arrived = Mqp::from_wire(&env_wire).expect("envelope reparses");
+    arrived.record(VisitRecord {
+        server: ServerId::new("bench-hop"),
+        action: Action::Forwarded,
+        detail: "to next".to_owned(),
+        at: 99_000,
+        staleness: 0,
+    });
+    let hop_ser_legacy = time_best(|| {
+        std::hint::black_box(mqp_xml::serialize(&arrived.to_xml()));
+    });
+    let hop_ser_cached = time_best(|| {
+        std::hint::black_box(arrived.to_wire());
+    });
+
+    // Whole hop: parse + record + serialize, both stacks.
+    let visit = VisitRecord {
+        server: ServerId::new("bench-hop-2"),
+        action: Action::Forwarded,
+        detail: "onward".to_owned(),
+        at: 100_000,
+        staleness: 0,
+    };
+    let hop_legacy = time_best(|| {
+        let root = mqp_xml::parse_document(&env_wire).expect("parse");
+        let mut m = Mqp::from_xml(&root).expect("decode");
+        m.record(visit.clone());
+        std::hint::black_box(mqp_xml::serialize(&m.to_xml()));
+    });
+    let hop_zero_copy = time_best(|| {
+        let mut m = Mqp::from_wire(&env_wire).expect("decode");
+        m.record(visit.clone());
+        std::hint::black_box(m.to_wire());
+    });
+
+    // End-to-end slices (current code only; informational trend data).
+    let fig2_pipeline_s = time_best(|| {
+        let parsed = mqp_algebra::codec::from_wire(&wire).expect("reparse");
+        let mut rewritten = parsed;
+        mqp_core::rewrite::normalize(&mut rewritten);
+        let result = mqp_engine::eval_const(&rewritten).expect("evaluate");
+        std::hint::black_box(to_wire(&Plan::data(result)));
+    });
+    let routing_slice_s = time_best(|| {
+        use mqp_workloads::garage::{build, random_query, GarageConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut w = build(GarageConfig {
+            sellers: 40,
+            items_per_seller: 8,
+            ..GarageConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let q = random_query(&mut rng, Some(80.0));
+            w.harness.submit(w.client, q);
+            w.harness.run(100_000);
+        }
+        std::hint::black_box(w.harness.completed().len());
+    });
+
+    Report {
+        wire_bytes,
+        envelope_bytes,
+        parse_legacy_mb_s: mb_per_s(wire_bytes, parse_legacy),
+        parse_zero_copy_mb_s: mb_per_s(wire_bytes, parse_zero_copy),
+        ser_legacy_mb_s: mb_per_s(wire_bytes, ser_legacy),
+        ser_direct_mb_s: mb_per_s(wire_bytes, ser_direct),
+        hop_ser_legacy_us: hop_ser_legacy * 1e6,
+        hop_ser_cached_us: hop_ser_cached * 1e6,
+        hop_legacy_us: hop_legacy * 1e6,
+        hop_zero_copy_us: hop_zero_copy * 1e6,
+        fig2_pipeline_s,
+        routing_slice_s,
+    }
+}
+
+fn committed_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_wire.json")
+}
+
+/// Pulls `"key": <number>` out of `section` in our own JSON shape.
+fn json_f64(text: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = text.find(&format!("\"{section}\""))?;
+    let rest = &text[sec..];
+    let k = rest.find(&format!("\"{key}\""))?;
+    let rest = &rest[k + key.len() + 2..];
+    let colon = rest.find(':')?;
+    let num: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
+
+fn check(report: &Report) -> Result<(), String> {
+    let committed = std::fs::read_to_string(committed_path())
+        .map_err(|e| format!("cannot read committed BENCH_wire.json: {e}"))?;
+    // Shape: every section this binary writes must exist in the
+    // committed file (a missing section means the schema drifted
+    // without refreshing the baseline).
+    for (section, key) in [
+        ("workload", "items"),
+        ("parse", "speedup"),
+        ("plan_serialize", "speedup"),
+        ("per_hop_serialize", "speedup"),
+        ("per_hop_envelope", "speedup"),
+        ("end_to_end", "fig2_pipeline_s"),
+        ("floors", "parse_speedup_min"),
+    ] {
+        if json_f64(&committed, section, key).is_none() {
+            return Err(format!(
+                "committed BENCH_wire.json is missing {section}.{key}; \
+                 regenerate it with `bench_report --update`"
+            ));
+        }
+    }
+    let mut failures = Vec::new();
+    let mut gate = |name: &str, fresh: f64, floor: f64| {
+        let committed_ratio = json_f64(&committed, name, "speedup").unwrap_or(floor);
+        // The committed ratio is capped before applying the drift
+        // tolerance: when a metric sits far above its floor (the
+        // splice-vs-rebuild ratio is two orders of magnitude), a
+        // machine-to-machine wobble in a huge ratio is noise, not a
+        // regression — but collapsing back toward the floor still is.
+        let min_allowed = floor.max(committed_ratio.min(4.0 * floor) * (1.0 - DRIFT));
+        eprintln!(
+            "perf-report: {name}: fresh {fresh:.2}x (committed {committed_ratio:.2}x, \
+             floor {floor:.1}x, regression gate {min_allowed:.2}x)"
+        );
+        if fresh < min_allowed {
+            failures.push(format!(
+                "{name} speedup {fresh:.2}x below gate {min_allowed:.2}x"
+            ));
+        }
+    };
+    gate("parse", report.parse_speedup(), PARSE_FLOOR);
+    gate(
+        "per_hop_serialize",
+        report.serialize_speedup(),
+        SERIALIZE_FLOOR,
+    );
+    // The remaining ratios have no hard floor but must not collapse
+    // versus the committed trajectory.
+    for (name, fresh) in [
+        ("plan_serialize", report.plan_serialize_speedup()),
+        ("per_hop_envelope", report.hop_speedup()),
+    ] {
+        let committed_ratio = json_f64(&committed, name, "speedup").unwrap_or(1.0);
+        let min_allowed = committed_ratio * (1.0 - DRIFT);
+        eprintln!(
+            "perf-report: {name}: fresh {fresh:.2}x (committed {committed_ratio:.2}x, \
+             regression gate {min_allowed:.2}x)"
+        );
+        if fresh < min_allowed {
+            failures.push(format!(
+                "{name} speedup {fresh:.2}x regressed >20% vs committed {committed_ratio:.2}x"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let report = measure();
+    match mode.as_str() {
+        "--update" => {
+            std::fs::write(committed_path(), report.to_json()).expect("write BENCH_wire.json");
+            eprintln!(
+                "bench_report: wrote {} (parse {:.2}x, per-hop serialize {:.2}x)",
+                committed_path().display(),
+                report.parse_speedup(),
+                report.serialize_speedup(),
+            );
+        }
+        "--check" => {
+            if let Err(e) = check(&report) {
+                eprintln!("perf-report: FAIL: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("perf-report: OK");
+        }
+        _ => print!("{}", report.to_json()),
+    }
+}

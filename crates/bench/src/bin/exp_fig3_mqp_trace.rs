@@ -17,10 +17,10 @@ fn main() {
     rows.push(vec![
         "client".to_string(),
         "submit".to_string(),
-        mqp.plan.node_count().to_string(),
+        mqp.plan().node_count().to_string(),
         mqp.wire_size().to_string(),
-        mqp.plan.urns().len().to_string(),
-        mqp.plan.urls().len().to_string(),
+        mqp.plan().urns().len().to_string(),
+        mqp.plan().urls().len().to_string(),
     ]);
 
     // Walk the MQP by hand through the same peers the harness would
@@ -34,7 +34,7 @@ fn main() {
         let peer = world.harness.peer(node);
         let outcome = peer.process(&mut mqp);
         let action = mqp
-            .provenance
+            .provenance()
             .iter()
             .rev()
             .take_while(|v| v.server.as_str() == current)
@@ -48,10 +48,10 @@ fn main() {
             } else {
                 action
             },
-            mqp.plan.node_count().to_string(),
+            mqp.plan().node_count().to_string(),
             mqp.wire_size().to_string(),
-            mqp.plan.urns().len().to_string(),
-            mqp.plan.urls().len().to_string(),
+            mqp.plan().urns().len().to_string(),
+            mqp.plan().urls().len().to_string(),
         ]);
         match outcome {
             Outcome::Complete { items, .. } => {
@@ -94,7 +94,7 @@ fn main() {
     );
 
     println!("\nprovenance trail:");
-    for v in &mqp.provenance {
+    for v in mqp.provenance() {
         println!(
             "  t={:<6} {:<10} {:<9} {}",
             v.at,

@@ -51,10 +51,10 @@ fn trial(sources: usize, spoof_fraction: f64, seed: u64) -> (usize, usize, usize
             // Spoof: bind every other still-unresolved URL to empty data.
             loop {
                 let victim = mqp
-                    .plan
+                    .plan()
                     .find_all(&|p| matches!(p, Plan::Url(u) if u.href != format!("mqp://s{i}/")));
                 let Some(path) = victim.first() else { break };
-                mqp.plan.replace(path, Plan::data([])).unwrap();
+                mqp.plan_mut().replace(path, Plan::data([])).unwrap();
                 spoofed += 1;
             }
         }
@@ -66,7 +66,7 @@ fn trial(sources: usize, spoof_fraction: f64, seed: u64) -> (usize, usize, usize
     }
 
     // Client-side audit.
-    let missing = unaccounted_sources(mqp.original.as_ref().unwrap(), &mqp.provenance);
+    let missing = unaccounted_sources(mqp.original().unwrap(), mqp.provenance());
     let detected = missing.len();
 
     // Verification queries: each flagged source is asked count(B).

@@ -66,6 +66,31 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// The Figure-2 item collection used by `exp_fig2_pipeline` and
+/// `bench_report`: `<item><title>…</title><price>…</price></item>` rows
+/// with repeating titles and prices.
+pub fn fig2_collection(n: usize) -> Vec<mqp_xml::Element> {
+    use mqp_xml::Element;
+    (0..n)
+        .map(|i| {
+            Element::new("item")
+                .child(Element::new("title").text(format!("Album-{:05}", i % (n / 2 + 1))))
+                .child(Element::new("price").text(format!("{}.99", i % 40)))
+        })
+        .collect()
+}
+
+/// The Figure-2 song list joined against [`fig2_collection`].
+pub fn fig2_songs(n: usize) -> Vec<mqp_xml::Element> {
+    use mqp_xml::Element;
+    (0..n)
+        .map(|i| {
+            Element::new("song")
+                .child(Element::new("album").text(format!("Album-{:05}", i * 3 % (n + 1))))
+        })
+        .collect()
+}
+
 /// Mean of a slice.
 pub fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {

@@ -12,41 +12,107 @@
 //!   <provenance> <visit …/>* </provenance>
 //! </mqp>
 //! ```
+//!
+//! ## Incremental re-serialization
+//!
+//! The Figure-2 loop re-parses and re-serializes the envelope at every
+//! hop, so each section's wire bytes are cached and spliced instead of
+//! rebuilt (DESIGN.md §7):
+//!
+//! * the **plan** fragment is invalidated by a dirty bit whenever the
+//!   plan is touched through [`Mqp::plan_mut`];
+//! * the **original** never changes after construction;
+//! * **provenance** is append-only, so cached `<visit/>` fragments stay
+//!   valid and only new records serialize;
+//! * [`Mqp::from_wire`] seeds all of these straight from the incoming
+//!   bytes when the input is canonical (always true on the wire path),
+//!   which is sound because the canonical parser guarantees each
+//!   element's byte span re-serializes to itself.
+//!
+//! Invariants (property-tested in `tests/properties.rs`):
+//! [`Mqp::wire_size`] is always exactly `to_wire().len()`, and for any
+//! envelope whose sections were produced by this codec — every
+//! programmatically built envelope, and everything travelling the wire
+//! path, since peers only emit [`Mqp::to_wire`] — `to_wire()` is
+//! byte-identical to serializing [`Mqp::to_xml`]. (An envelope parsed
+//! from *foreign* canonical XML that spells a section differently than
+//! this codec would — say `pred="a&lt;1"` where our predicate printer
+//! writes `a &lt; 1` — forwards those received bytes verbatim, which
+//! is deliberate: faithful forwarding, still reparsing to the same
+//! plan.)
 
-use mqp_algebra::codec::{plan_from_xml, plan_to_xml, CodecError};
+use std::cell::{OnceCell, RefCell};
+use std::fmt;
+
+use mqp_algebra::codec::{
+    plan_from_canonical, plan_from_tokens, plan_from_xml, plan_to_xml, write_plan, CodecError,
+    ItemSink,
+};
 use mqp_algebra::plan::Plan;
-use mqp_xml::{Element, Node};
+use mqp_xml::{Element, Node, Token, Tokenizer, TreeBuilder};
 
 use crate::constraints::Constraints;
 use crate::provenance::VisitRecord;
 
+/// Cached wire fragments (see module docs). Interior-mutable so
+/// `to_wire(&self)` can memoize; never observable — every accessor
+/// yields the same bytes a cold cache would.
+///
+/// One slot is more than a memo: for an envelope parsed from canonical
+/// wire bytes, `original` holds the *only* copy of the original plan —
+/// validated at parse time, decoded into `Mqp::original_plan` the
+/// first time someone (the §5.1 audit) actually asks. Intermediate
+/// hops never pay to materialize a section they never read.
+#[derive(Clone, Default)]
+struct WireCache {
+    /// Serialized current plan (the single child of `<plan>`); `None`
+    /// when the plan is dirty.
+    plan: RefCell<Option<String>>,
+    /// Serialized original plan (the single child of `<original>`).
+    /// Never invalidated: the original is immutable.
+    original: RefCell<Option<String>>,
+    /// Serialized `<visit …/>` fragments for a prefix of the
+    /// provenance list (append-only, so a prefix never goes stale).
+    visits: RefCell<Vec<String>>,
+    /// Serialized `<constraints>…</constraints>` element.
+    constraints: RefCell<Option<String>>,
+}
+
 /// A mutant query plan in flight.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Mqp {
     /// The current (partially evaluated) plan.
-    pub plan: Plan,
+    plan: Plan,
     /// The original plan as submitted by the client, if carried.
-    pub original: Option<Plan>,
+    /// Either this cell or `cache.original` is populated when an
+    /// original is carried (see [`WireCache`]); both empty means the
+    /// envelope travels without one.
+    original_plan: OnceCell<Plan>,
     /// The visit history.
-    pub provenance: Vec<VisitRecord>,
+    provenance: Vec<VisitRecord>,
     /// Ordering/transfer policies (§5.2).
-    pub constraints: Constraints,
+    constraints: Constraints,
+    cache: WireCache,
 }
 
 impl Mqp {
     /// Wraps a fresh client plan; keeps a copy as the original.
     pub fn new(plan: Plan) -> Self {
+        let original_plan = OnceCell::new();
+        original_plan.set(plan.clone()).expect("fresh cell");
         Mqp {
-            original: Some(plan.clone()),
+            original_plan,
             plan,
             provenance: Vec::new(),
             constraints: Constraints::none(),
+            cache: WireCache::default(),
         }
     }
 
     /// Attaches §5.2 constraints; returns `self` for chaining.
     pub fn with_constraints(mut self, constraints: Constraints) -> Self {
         self.constraints = constraints;
+        *self.cache.constraints.borrow_mut() = None;
         self
     }
 
@@ -55,13 +121,70 @@ impl Mqp {
     pub fn without_original(plan: Plan) -> Self {
         Mqp {
             plan,
-            original: None,
+            original_plan: OnceCell::new(),
             provenance: Vec::new(),
             constraints: Constraints::none(),
+            cache: WireCache::default(),
         }
     }
 
-    /// Appends a provenance record.
+    /// The current plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Mutable access to the plan. Marks the cached plan fragment dirty
+    /// — the next serialization rebuilds (only) the `<plan>` section.
+    pub fn plan_mut(&mut self) -> &mut Plan {
+        *self.cache.plan.borrow_mut() = None;
+        &mut self.plan
+    }
+
+    /// Plan access that does *not* invalidate the cached wire fragment.
+    /// The processor uses this for pipeline stages that report whether
+    /// they changed anything, pairing it with
+    /// [`Mqp::invalidate_plan_cache`] so a pure-forward hop keeps its
+    /// splice-only serialization.
+    pub(crate) fn plan_untracked_mut(&mut self) -> &mut Plan {
+        &mut self.plan
+    }
+
+    /// Marks the cached plan fragment dirty (see
+    /// [`Mqp::plan_untracked_mut`]).
+    pub(crate) fn invalidate_plan_cache(&self) {
+        *self.cache.plan.borrow_mut() = None;
+    }
+
+    /// The original plan as submitted by the client, if carried.
+    ///
+    /// For an envelope parsed from canonical wire bytes this is where
+    /// the `<original>` section is first materialized (it was only
+    /// *validated* during parsing); the decode is memoized, and
+    /// envelopes that are merely forwarded never pay for it.
+    pub fn original(&self) -> Option<&Plan> {
+        if self.original_plan.get().is_none() {
+            let wire = self.cache.original.borrow();
+            let frag = wire.as_deref()?;
+            let plan = plan_from_canonical(frag)
+                .expect("original section was token-validated when the envelope was parsed");
+            drop(wire);
+            let _ = self.original_plan.set(plan);
+        }
+        self.original_plan.get()
+    }
+
+    /// The visit history, oldest first.
+    pub fn provenance(&self) -> &[VisitRecord] {
+        &self.provenance
+    }
+
+    /// The §5.2 constraints.
+    pub fn constraints(&self) -> &Constraints {
+        &self.constraints
+    }
+
+    /// Appends a provenance record. (Provenance is append-only, which
+    /// is what lets its serialized fragments be cached.)
     pub fn record(&mut self, visit: VisitRecord) {
         self.provenance.push(visit);
     }
@@ -86,13 +209,15 @@ impl Mqp {
             .unwrap_or(0)
     }
 
-    /// Serializes the envelope to XML.
+    /// Serializes the envelope to XML. (The tree form is the spec the
+    /// spliced [`Mqp::to_wire`] is property-tested against; the wire
+    /// path itself never builds it.)
     pub fn to_xml(&self) -> Element {
         let mut e = Element::new("mqp");
         e.push_child(Node::Element(
             Element::new("plan").child(plan_to_xml(&self.plan)),
         ));
-        if let Some(orig) = &self.original {
+        if let Some(orig) = self.original() {
             e.push_child(Node::Element(
                 Element::new("original").child(plan_to_xml(orig)),
             ));
@@ -119,10 +244,10 @@ impl Mqp {
             .and_then(|p| p.child_elements().next())
             .ok_or_else(|| bad("missing <plan>"))?;
         let plan = plan_from_xml(plan_el)?;
-        let original = match e.first("original").and_then(|o| o.child_elements().next()) {
-            Some(el) => Some(plan_from_xml(el)?),
-            None => None,
-        };
+        let original_plan = OnceCell::new();
+        if let Some(el) = e.first("original").and_then(|o| o.child_elements().next()) {
+            original_plan.set(plan_from_xml(el)?).expect("fresh cell");
+        }
         let mut provenance = Vec::new();
         if let Some(prov) = e.first("provenance") {
             for v in prov.child_elements() {
@@ -135,27 +260,299 @@ impl Mqp {
         };
         Ok(Mqp {
             plan,
-            original,
+            original_plan,
             provenance,
             constraints,
+            cache: WireCache::default(),
         })
     }
 
-    /// Serializes to the compact wire string.
+    /// Serializes to the compact wire string, splicing cached fragments
+    /// for every section that did not change since the envelope was
+    /// parsed (byte-identical to `serialize(&self.to_xml())`).
     pub fn to_wire(&self) -> String {
-        mqp_xml::serialize(&self.to_xml())
+        self.ensure_fragments();
+        let plan = self.cache.plan.borrow();
+        let original = self.cache.original.borrow();
+        let visits = self.cache.visits.borrow();
+        let constraints = self.cache.constraints.borrow();
+        let plan = plan.as_deref().expect("ensured");
+        let orig = original.as_deref();
+        let cons = (!self.constraints.is_empty()).then(|| constraints.as_deref().expect("ensured"));
+        let mut out = String::with_capacity(assembled_len(plan, orig, &visits, cons));
+        out.push_str("<mqp><plan>");
+        out.push_str(plan);
+        out.push_str("</plan>");
+        if let Some(o) = orig {
+            out.push_str("<original>");
+            out.push_str(o);
+            out.push_str("</original>");
+        }
+        if visits.is_empty() {
+            out.push_str("<provenance/>");
+        } else {
+            out.push_str("<provenance>");
+            for v in visits.iter() {
+                out.push_str(v);
+            }
+            out.push_str("</provenance>");
+        }
+        if let Some(c) = cons {
+            out.push_str(c);
+        }
+        out.push_str("</mqp>");
+        out
     }
 
-    /// Parses from the wire string.
+    /// Parses from the wire string. Canonical input (everything our own
+    /// serializer produced — i.e. the entire hop-to-hop path) walks the
+    /// zero-copy tokenizer once: the current plan decodes straight from
+    /// tokens (no intermediate XML tree), the `<original>` section is
+    /// *validated but not materialized* (its bytes become the cached
+    /// fragment, decoded lazily by [`Mqp::original`]), and every
+    /// section's byte span seeds the splice cache. Anything else falls
+    /// back to the lenient tree path with cold caches — which also
+    /// reproduces the precise error for malformed envelopes.
     pub fn from_wire(s: &str) -> Result<Mqp, CodecError> {
+        if let Some(mqp) = Mqp::from_wire_canonical(s) {
+            return Ok(mqp);
+        }
         let root = mqp_xml::parse(s)?;
         Mqp::from_xml(&root)
     }
 
+    /// The canonical token walk behind [`Mqp::from_wire`]; `None` means
+    /// fall back (non-canonical bytes, or any shape/semantic problem —
+    /// the fallback rediscovers the exact error).
+    fn from_wire_canonical(s: &str) -> Option<Mqp> {
+        let mut tok = Tokenizer::new(s);
+        match tok.next_token() {
+            Ok(Some(Token::Open("mqp"))) => {}
+            _ => return None,
+        }
+        match tok.next_token() {
+            Ok(Some(Token::OpenEnd)) => {}
+            _ => return None, // attrs on <mqp>, or <mqp/> (missing plan)
+        }
+        let mut tb = TreeBuilder::new();
+        let mut plan: Option<Plan> = None;
+        let mut plan_frag: Option<&str> = None;
+        let mut seen_plan = false;
+        let mut original_frag: Option<&str> = None;
+        let mut seen_original = false;
+        let mut seen_provenance = false;
+        let mut visits: Vec<VisitRecord> = Vec::new();
+        let mut visit_frags: Vec<&str> = Vec::new();
+        let mut constraints: Option<Constraints> = None;
+        let mut constraints_frag: Option<&str> = None;
+        loop {
+            let section_start = tok.pos();
+            match tok.next_token().ok()?? {
+                Token::Close("mqp") => break,
+                Token::Text(_) => {} // stray text: ignored, like from_xml
+                Token::Open("plan") if !seen_plan => {
+                    seen_plan = true;
+                    match tok.next_token().ok()?? {
+                        Token::OpenEnd => {}
+                        _ => return None, // attrs on <plan>, or empty <plan/>
+                    }
+                    loop {
+                        let inner_start = tok.pos();
+                        match tok.next_token().ok()?? {
+                            Token::Open(n) => {
+                                if plan.is_none() {
+                                    plan = Some(
+                                        plan_from_tokens(
+                                            &mut tok,
+                                            &mut ItemSink::Build(&mut tb),
+                                            n,
+                                        )
+                                        .ok()?,
+                                    );
+                                    plan_frag = Some(&s[inner_start..tok.pos()]);
+                                } else {
+                                    // from_xml takes the first element
+                                    // child; skip (and validate) extras.
+                                    mqp_xml::skip_subtree(&mut tok, n).ok()?;
+                                }
+                            }
+                            Token::Text(_) => {}
+                            Token::Close("plan") => break,
+                            _ => return None,
+                        }
+                    }
+                }
+                Token::Open("original") if !seen_original => {
+                    seen_original = true;
+                    match tok.next_token().ok()?? {
+                        Token::OpenEnd => {}
+                        _ => return None,
+                    }
+                    loop {
+                        let inner_start = tok.pos();
+                        match tok.next_token().ok()?? {
+                            Token::Open(n) => {
+                                if original_frag.is_none() {
+                                    // Validate without materializing:
+                                    // the skip-mode decoder accepts
+                                    // exactly what the build-mode one
+                                    // does, so the lazy decode in
+                                    // `original()` cannot fail.
+                                    plan_from_tokens(&mut tok, &mut ItemSink::Skip, n).ok()?;
+                                    original_frag = Some(&s[inner_start..tok.pos()]);
+                                } else {
+                                    mqp_xml::skip_subtree(&mut tok, n).ok()?;
+                                }
+                            }
+                            Token::Text(_) => {}
+                            Token::Close("original") => break,
+                            _ => return None,
+                        }
+                    }
+                }
+                Token::Open("provenance") if !seen_provenance => {
+                    seen_provenance = true;
+                    let mut self_closed = false;
+                    match tok.next_token().ok()?? {
+                        Token::OpenEnd => {}
+                        Token::SelfClose => self_closed = true,
+                        _ => return None,
+                    }
+                    if !self_closed {
+                        loop {
+                            let visit_start = tok.pos();
+                            match tok.next_token().ok()?? {
+                                Token::Open(n) => {
+                                    let el = tb.build(&mut tok, n).ok()?;
+                                    visits.push(VisitRecord::from_xml(&el)?);
+                                    visit_frags.push(&s[visit_start..tok.pos()]);
+                                }
+                                Token::Text(_) => {}
+                                Token::Close("provenance") => break,
+                                _ => return None,
+                            }
+                        }
+                    }
+                }
+                Token::Open("constraints") if constraints.is_none() => {
+                    let el = tb.build(&mut tok, "constraints").ok()?;
+                    constraints = Some(Constraints::from_xml(&el)?);
+                    constraints_frag = Some(&s[section_start..tok.pos()]);
+                }
+                // Unknown sections: from_xml ignores them; skip past.
+                Token::Open(n) => mqp_xml::skip_subtree(&mut tok, n).ok()?,
+                _ => return None,
+            }
+        }
+        if !matches!(tok.next_token(), Ok(None)) {
+            return None; // trailing content
+        }
+        let plan = plan?; // a canonical <mqp> without a plan: fall back to the real error
+        let mqp = Mqp {
+            plan,
+            original_plan: OnceCell::new(),
+            provenance: visits,
+            constraints: constraints.unwrap_or_else(Constraints::none),
+            cache: WireCache {
+                plan: RefCell::new(plan_frag.map(str::to_owned)),
+                original: RefCell::new(original_frag.map(str::to_owned)),
+                visits: RefCell::new(visit_frags.iter().map(|f| (*f).to_owned()).collect()),
+                constraints: RefCell::new(constraints_frag.map(str::to_owned)),
+            },
+        };
+        Some(mqp)
+    }
+
     /// Byte size of the envelope on the wire — what the network charges
-    /// per hop.
+    /// per hop. Always exactly `to_wire().len()`.
     pub fn wire_size(&self) -> usize {
-        self.to_xml().serialized_len()
+        self.ensure_fragments();
+        let plan = self.cache.plan.borrow();
+        let original = self.cache.original.borrow();
+        let visits = self.cache.visits.borrow();
+        let constraints = self.cache.constraints.borrow();
+        assembled_len(
+            plan.as_deref().expect("ensured"),
+            original.as_deref(),
+            &visits,
+            (!self.constraints.is_empty()).then(|| constraints.as_deref().expect("ensured")),
+        )
+    }
+
+    /// Fills every cache slot that is currently cold.
+    fn ensure_fragments(&self) {
+        {
+            let mut plan = self.cache.plan.borrow_mut();
+            if plan.is_none() {
+                let mut s = String::with_capacity(128);
+                write_plan(&self.plan, &mut s);
+                *plan = Some(s);
+            }
+        }
+        if let Some(orig) = self.original_plan.get() {
+            let mut original = self.cache.original.borrow_mut();
+            if original.is_none() {
+                let mut s = String::with_capacity(128);
+                write_plan(orig, &mut s);
+                *original = Some(s);
+            }
+        }
+        {
+            let mut visits = self.cache.visits.borrow_mut();
+            for v in &self.provenance[visits.len()..] {
+                visits.push(mqp_xml::serialize(&v.to_xml()));
+            }
+        }
+        if !self.constraints.is_empty() {
+            let mut cons = self.cache.constraints.borrow_mut();
+            if cons.is_none() {
+                *cons = Some(mqp_xml::serialize(&self.constraints.to_xml()));
+            }
+        }
+    }
+}
+
+/// Length of the assembled envelope for the given fragments.
+fn assembled_len(
+    plan: &str,
+    original: Option<&str>,
+    visits: &[String],
+    constraints: Option<&str>,
+) -> usize {
+    let mut n = "<mqp>".len() + "<plan>".len() + plan.len() + "</plan>".len() + "</mqp>".len();
+    if let Some(o) = original {
+        n += "<original>".len() + o.len() + "</original>".len();
+    }
+    n += if visits.is_empty() {
+        "<provenance/>".len()
+    } else {
+        "<provenance>".len() + visits.iter().map(String::len).sum::<usize>() + "</provenance>".len()
+    };
+    if let Some(c) = constraints {
+        n += c.len();
+    }
+    n
+}
+
+impl PartialEq for Mqp {
+    fn eq(&self, other: &Self) -> bool {
+        // Caches are memoization, not state (comparing originals may
+        // materialize a lazily-held section on either side).
+        self.plan == other.plan
+            && self.original() == other.original()
+            && self.provenance == other.provenance
+            && self.constraints == other.constraints
+    }
+}
+
+impl fmt::Debug for Mqp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mqp")
+            .field("plan", &self.plan)
+            .field("original", &self.original())
+            .field("provenance", &self.provenance)
+            .field("constraints", &self.constraints)
+            .finish()
     }
 }
 
@@ -194,12 +591,50 @@ mod tests {
         let m = Mqp::without_original(Plan::data([]));
         let back = Mqp::from_wire(&m.to_wire()).unwrap();
         assert_eq!(back, m);
-        assert!(back.original.is_none());
+        assert!(back.original().is_none());
     }
 
     #[test]
     fn wire_size_matches() {
         let m = sample();
+        assert_eq!(m.wire_size(), m.to_wire().len());
+    }
+
+    #[test]
+    fn to_wire_matches_tree_serialization() {
+        let m = sample();
+        assert_eq!(m.to_wire(), mqp_xml::serialize(&m.to_xml()));
+    }
+
+    #[test]
+    fn reparsed_envelope_reserializes_identically() {
+        // The seeded-cache path: from_wire on canonical bytes must
+        // splice back to the identical wire string.
+        let wire = sample().to_wire();
+        let back = Mqp::from_wire(&wire).unwrap();
+        assert_eq!(back.to_wire(), wire);
+        assert_eq!(back.wire_size(), wire.len());
+    }
+
+    #[test]
+    fn plan_mutation_invalidates_cached_fragment() {
+        let mut m = Mqp::from_wire(&sample().to_wire()).unwrap();
+        *m.plan_mut() = Plan::display("client:9020", Plan::data([]));
+        assert_eq!(m.to_wire(), mqp_xml::serialize(&m.to_xml()));
+        assert!(m.to_wire().contains("<plan><display"));
+    }
+
+    #[test]
+    fn record_after_reparse_appends_fragment() {
+        let mut m = Mqp::from_wire(&sample().to_wire()).unwrap();
+        m.record(VisitRecord {
+            server: ServerId::new("seller-1"),
+            action: Action::Evaluated,
+            detail: "reduced select at /0".to_owned(),
+            at: 2000,
+            staleness: 0,
+        });
+        assert_eq!(m.to_wire(), mqp_xml::serialize(&m.to_xml()));
         assert_eq!(m.wire_size(), m.to_wire().len());
     }
 
@@ -241,7 +676,8 @@ mod tests {
         );
         let back = Mqp::from_wire(&m.to_wire()).unwrap();
         assert_eq!(back, m);
-        assert!(!back.constraints.is_empty());
+        assert!(!back.constraints().is_empty());
+        assert_eq!(back.to_wire(), m.to_wire());
     }
 
     #[test]
@@ -255,5 +691,36 @@ mod tests {
         ] {
             assert!(Mqp::from_wire(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn foreign_spelling_is_forwarded_verbatim() {
+        // Canonical XML that spells a section differently than our
+        // codec would (visit attributes in a foreign order): the
+        // received bytes are spliced onward verbatim — deliberate
+        // faithful forwarding (see module docs) — while reparsing
+        // still yields the same envelope.
+        let wire = "<mqp><plan><data cardinality=\"0\"/></plan><provenance>\
+                    <visit action=\"forwarded\" server=\"s\" detail=\"\" at=\"0\" staleness=\"0\"/>\
+                    </provenance></mqp>";
+        let m = Mqp::from_wire(wire).unwrap();
+        assert_eq!(m.to_wire(), wire);
+        assert_eq!(m.wire_size(), wire.len());
+        assert_ne!(m.to_wire(), mqp_xml::serialize(&m.to_xml()));
+        assert_eq!(Mqp::from_wire(&m.to_wire()).unwrap(), m);
+    }
+
+    #[test]
+    fn non_canonical_input_still_parses_and_reserializes_canonically() {
+        // Pretty-ish spacing knocks the input off the canonical
+        // grammar; the lenient fallback must still produce an envelope
+        // whose wire form matches the tree serialization.
+        let m = Mqp::new(Plan::data([]));
+        let wire = m.to_wire();
+        let spaced = wire.replace("<provenance/>", "<provenance></provenance>");
+        assert_ne!(spaced, wire);
+        let back = Mqp::from_wire(&spaced).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.to_wire(), wire);
     }
 }

@@ -101,17 +101,27 @@ impl Processor {
         acted |= self.bind_urns(mqp, ctx, now) > 0;
 
         // 2. Cheap normalizations: select pushdown + consolidation.
-        if rewrite::normalize(&mut mqp.plan) > 0 {
-            acted = true;
+        //    (Untracked access + explicit invalidation so a no-op pass
+        //    keeps the cached wire fragment — the splice-only hop.
+        //    Invalidation keys on `changed`, not the count: the
+        //    consolidation can reposition a data leaf while
+        //    simplifying zero nodes away.)
+        let (normalized, plan_changed) = rewrite::normalize_tracked(mqp.plan_untracked_mut());
+        if plan_changed {
+            mqp.invalidate_plan_cache();
         }
+        acted |= normalized > 0;
 
         // 3. Commit Or nodes whose chosen alternative is locally
         //    evaluable (A | B → A, §4.2).
         acted |= self.commit_ready_ors(mqp, ctx, now) > 0;
 
         // 4. Absorption where profitable (§2).
-        let absorbed = rewrite::absorb(&mut mqp.plan, &|p| self.locally_evaluable(p, ctx));
+        let absorbed = rewrite::absorb(mqp.plan_untracked_mut(), &|p| {
+            self.locally_evaluable(p, ctx)
+        });
         if absorbed > 0 {
+            mqp.invalidate_plan_cache();
             acted = true;
             mqp.record(VisitRecord {
                 server: me.clone(),
@@ -126,9 +136,9 @@ impl Processor {
         acted |= self.reduce(mqp, ctx, now) > 0;
 
         // 6. Done?
-        if mqp.plan.is_fully_evaluated() {
-            let target = mqp.plan.target().map(str::to_owned);
-            let items = match &mqp.plan {
+        if mqp.plan().is_fully_evaluated() {
+            let target = mqp.plan().target().map(str::to_owned);
+            let items = match mqp.plan() {
                 Plan::Display { input, .. } => input.as_data().unwrap_or_default().to_vec(),
                 plan => plan.as_data().unwrap_or_default().to_vec(),
             };
@@ -139,8 +149,8 @@ impl Processor {
         //    treated as already-visited so routing skips over them.
         let mut visited = mqp.visited();
         let route = loop {
-            match ctx.route(&mqp.plan, &visited) {
-                Some(next) if !mqp.constraints.server_allowed(&next) => {
+            match ctx.route(mqp.plan(), &visited) {
+                Some(next) if !mqp.constraints().server_allowed(&next) => {
                     visited.push(next);
                 }
                 other => break other,
@@ -162,8 +172,8 @@ impl Processor {
             None => Outcome::Stuck {
                 reason: format!(
                     "no route from {me}: {} unresolved URN(s), {} remote URL(s)",
-                    mqp.plan.urns().len(),
-                    count_remote_urls(&mqp.plan, ctx),
+                    mqp.plan().urns().len(),
+                    count_remote_urls(mqp.plan(), ctx),
                 ),
             },
         }
@@ -174,20 +184,25 @@ impl Processor {
         let me = ctx.id();
         let mut bound = 0;
         loop {
-            let urn_paths = mqp.plan.find_all(&|p| matches!(p, Plan::Urn(_)));
+            let urn_paths = mqp.plan().find_all(&|p| matches!(p, Plan::Urn(_)));
             let mut progressed = false;
-            let unbound: Vec<String> = mqp.plan.urns().iter().map(|u| u.urn.to_string()).collect();
+            let unbound: Vec<String> = mqp
+                .plan()
+                .urns()
+                .iter()
+                .map(|u| u.urn.to_string())
+                .collect();
             for path in urn_paths {
-                let Some(Plan::Urn(u)) = mqp.plan.get(&path) else {
+                let Some(Plan::Urn(u)) = mqp.plan().get(&path) else {
                     continue;
                 };
                 let urn_str = u.urn.to_string();
                 // §5.2 ordering policy: some bindings must wait.
-                if !mqp.constraints.may_bind(&urn_str, &unbound) {
+                if !mqp.constraints().may_bind(&urn_str, &unbound) {
                     continue;
                 }
                 if let Some((replacement, detail, staleness)) = ctx.bind_urn(u) {
-                    mqp.plan
+                    mqp.plan_mut()
                         .replace(&path, replacement)
                         .expect("path from find_all is valid");
                     mqp.record(VisitRecord {
@@ -214,10 +229,10 @@ impl Processor {
         let me = ctx.id();
         let mut committed = 0;
         loop {
-            let or_paths = mqp.plan.find_all(&|p| matches!(p, Plan::Or(_)));
+            let or_paths = mqp.plan().find_all(&|p| matches!(p, Plan::Or(_)));
             let mut progressed = false;
             for path in or_paths {
-                let Some(Plan::Or(alts)) = mqp.plan.get(&path) else {
+                let Some(Plan::Or(alts)) = mqp.plan().get(&path) else {
                     continue;
                 };
                 let choice = self.policy.choose_or(alts);
@@ -227,7 +242,7 @@ impl Processor {
                 }
                 let staleness = chosen.staleness.unwrap_or(0);
                 let replacement = chosen.plan.clone();
-                mqp.plan
+                mqp.plan_mut()
                     .replace(&path, replacement)
                     .expect("path from find_all is valid");
                 mqp.record(VisitRecord {
@@ -254,17 +269,17 @@ impl Processor {
         let resolver = CtxResolver(ctx);
         let mut reduced = 0;
         loop {
-            let candidates = self.maximal_evaluable(&mqp.plan, ctx);
+            let candidates = self.maximal_evaluable(mqp.plan(), ctx);
             let mut progressed = false;
             for path in candidates {
-                let Some(sub) = mqp.plan.get(&path) else {
+                let Some(sub) = mqp.plan().get(&path) else {
                     continue;
                 };
                 // A bare Data leaf is already reduced.
                 if matches!(sub, Plan::Data { .. }) {
                     continue;
                 }
-                let completes = self.reduction_completes_plan(&mqp.plan, &path);
+                let completes = self.reduction_completes_plan(mqp.plan(), &path);
                 let sub_est = local_aware_estimate(sub, ctx);
                 let replaced = wire_size(sub);
                 if !self.policy.should_evaluate(sub_est, replaced, completes) {
@@ -287,7 +302,7 @@ impl Processor {
                 };
                 match eval(sub, &resolver) {
                     Ok(items) => {
-                        mqp.plan
+                        mqp.plan_mut()
                             .replace(&path, Plan::data(items))
                             .expect("path from maximal_evaluable is valid");
                         mqp.record(VisitRecord {
@@ -370,7 +385,7 @@ impl Processor {
         ctx: &impl ServerContext,
         now: u64,
     ) {
-        let Some(sub) = mqp.plan.get(path) else {
+        let Some(sub) = mqp.plan().get(path) else {
             return;
         };
         // Collect (relative url-leaf paths, cardinalities).
@@ -389,10 +404,10 @@ impl Processor {
             }
         }
         for (abs, card) in updates {
-            if let Some(Plan::Url(u)) = mqp.plan.get(&abs) {
+            if let Some(Plan::Url(u)) = mqp.plan().get(&abs) {
                 let mut u2 = u.clone();
                 u2.meta.set_cardinality(card);
-                let _ = mqp.plan.replace(&abs, Plan::Url(u2));
+                let _ = mqp.plan_mut().replace(&abs, Plan::Url(u2));
                 annotated += 1;
             }
         }
@@ -526,7 +541,10 @@ mod tests {
             other => panic!("expected Complete, got {other:?}"),
         }
         // Provenance shows the reduction.
-        assert!(mqp.provenance.iter().any(|v| v.action == Action::Evaluated));
+        assert!(mqp
+            .provenance()
+            .iter()
+            .any(|v| v.action == Action::Evaluated));
     }
 
     #[test]
@@ -550,7 +568,7 @@ mod tests {
             }
         );
         // Select was pushed through the union (Figure 4(a)).
-        match &mqp.plan {
+        match mqp.plan() {
             Plan::Display { input, .. } => match input.as_ref() {
                 Plan::Union(parts) => {
                     assert!(parts.iter().all(|p| matches!(p, Plan::Select { .. })));
@@ -559,7 +577,7 @@ mod tests {
             },
             other => panic!("expected display, got {other}"),
         }
-        assert!(mqp.provenance.iter().any(|v| v.action == Action::Bound));
+        assert!(mqp.provenance().iter().any(|v| v.action == Action::Bound));
     }
 
     #[test]
@@ -584,7 +602,7 @@ mod tests {
             }
         );
         // One branch reduced to data.
-        match &mqp.plan {
+        match mqp.plan() {
             Plan::Display { input, .. } => match input.as_ref() {
                 Plan::Union(parts) => {
                     assert!(parts.iter().any(|p| matches!(p, Plan::Data { .. })));
@@ -641,7 +659,7 @@ mod tests {
             Processor::default().process(&mut mqp, &ctx),
             Outcome::Forward { .. }
         ));
-        assert_eq!(mqp.plan.find_all(&|p| matches!(p, Plan::Or(_))).len(), 1);
+        assert_eq!(mqp.plan().find_all(&|p| matches!(p, Plan::Or(_))).len(), 1);
     }
 
     #[test]
@@ -682,9 +700,31 @@ mod tests {
         let out = processor.process(&mut mqp, &ctx);
         assert!(matches!(out, Outcome::Forward { .. }));
         // The local URL leaf now carries its true cardinality (§5.1).
-        let urls = mqp.plan.urls();
+        let urls = mqp.plan().urls();
         let local = urls.iter().find(|u| u.href == "mqp://s/").unwrap();
         assert_eq!(local.meta.cardinality(), Some(50));
+    }
+
+    #[test]
+    fn forwarded_envelope_reserializes_rewrites_that_report_zero() {
+        // Consolidation repositions a lone data leaf inside a union
+        // while counting zero simplifications; the spliced wire must
+        // still reflect the post-rewrite plan (stale-fragment
+        // regression: invalidation keys on *changed*, not the count).
+        let ctx = TestCtx::new("relay").with_next("next");
+        let plan = Plan::display(
+            "client#1",
+            Plan::union([
+                Plan::url("mqp://other/"),
+                Plan::data([parse("<i><k>1</k></i>").unwrap()]),
+            ]),
+        );
+        let mut mqp = Mqp::from_wire(&Mqp::new(plan).to_wire()).unwrap();
+        let out = Processor::default().process(&mut mqp, &ctx);
+        assert!(matches!(out, Outcome::Forward { .. }));
+        assert_eq!(mqp.to_wire(), mqp_xml::serialize(&mqp.to_xml()));
+        // The data leaf moved to the front of the union on the wire too.
+        assert!(mqp.to_wire().contains("<union><data"), "{}", mqp.to_wire());
     }
 
     #[test]

@@ -70,11 +70,44 @@ pub fn push_select_down(plan: &mut Plan) -> usize {
 /// §6: "rewriting a plan so that locally evaluable sub-plans come
 /// together"). Returns how many nodes were simplified away.
 pub fn consolidate(plan: &mut Plan) -> usize {
+    consolidate_tracked(plan).0
+}
+
+/// Like [`consolidate`], additionally reporting whether the plan
+/// changed *at all*. The two are not the same: repositioning a lone
+/// data leaf to the front of a union (or renormalizing its
+/// annotations) mutates the plan without simplifying any node away, so
+/// the count stays 0. Callers that maintain serialization caches keyed
+/// on plan identity must use the `bool`, never the count.
+pub fn consolidate_tracked(plan: &mut Plan) -> (usize, bool) {
     let mut count = 0;
+    let mut changed = false;
     for c in plan.children_mut() {
-        count += consolidate(c);
+        let (n, ch) = consolidate_tracked(c);
+        count += n;
+        changed |= ch;
     }
     if let Plan::Union(inputs) = plan {
+        // Exact no-op detection: skip the rebuild when it would
+        // reproduce the union byte-for-byte — no nested unions to
+        // flatten, no single input to inline, and at most one data
+        // leaf that already sits in front with the canonical
+        // `cardinality`-only annotations the rebuild would give it.
+        let nested = inputs.iter().any(|i| matches!(i, Plan::Union(_)));
+        let n_data = inputs
+            .iter()
+            .filter(|i| matches!(i, Plan::Data { .. }))
+            .count();
+        let untouched = !nested
+            && inputs.len() != 1
+            && (n_data == 0
+                || (n_data == 1
+                    && matches!(&inputs[0], Plan::Data { items, meta }
+                        if is_canonical_data_meta(meta, items.len()))));
+        if untouched {
+            return (count, changed);
+        }
+        changed = true;
         // Flatten nested unions.
         let mut flat: Vec<Plan> = Vec::with_capacity(inputs.len());
         for i in std::mem::take(inputs) {
@@ -112,7 +145,17 @@ pub fn consolidate(plan: &mut Plan) -> usize {
             *plan = Plan::Union(rest);
         }
     }
-    count
+    (count, changed)
+}
+
+/// True when `meta` is exactly what `Plan::data` would regenerate for
+/// `len` items — the condition under which consolidation's rebuild of
+/// a data leaf is a no-op.
+fn is_canonical_data_meta(meta: &mqp_algebra::plan::Annotations, len: usize) -> bool {
+    meta.iter().count() == 1
+        && meta
+            .get("cardinality")
+            .is_some_and(|v| v == len.to_string())
 }
 
 /// Commits every `Or` node to the alternative `choose` picks
@@ -325,12 +368,24 @@ fn profitable(a: &Plan, b: &Plan) -> bool {
 /// Runs the cheap normalizations (select pushdown + consolidation) to a
 /// fixpoint. Returns total rewrites applied.
 pub fn normalize(plan: &mut Plan) -> usize {
+    normalize_tracked(plan).0
+}
+
+/// Like [`normalize`], additionally reporting whether the plan changed
+/// at all (see [`consolidate_tracked`] for why the count alone cannot
+/// answer that). The processor pairs this with its serialization-cache
+/// invalidation so a genuinely untouched plan keeps its cached wire
+/// fragment — and a repositioned one never splices stale bytes.
+pub fn normalize_tracked(plan: &mut Plan) -> (usize, bool) {
     let mut total = 0;
+    let mut changed = false;
     loop {
-        let n = push_select_down(plan) + consolidate(plan);
-        total += n;
-        if n == 0 {
-            return total;
+        let pushed = push_select_down(plan);
+        let (consolidated, cons_changed) = consolidate_tracked(plan);
+        total += pushed + consolidated;
+        changed |= pushed > 0 || cons_changed;
+        if pushed + consolidated == 0 {
+            return (total, changed);
         }
     }
 }

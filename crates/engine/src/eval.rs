@@ -141,11 +141,38 @@ fn project_item(item: &Element, fields: &[String]) -> Element {
 
 /// Join-key normalization: numeric values compare numerically
 /// (`"1.0"` joins `"1"`), everything else exactly (after trim).
-fn join_key(v: &str) -> String {
-    let t = v.trim();
-    match t.parse::<f64>() {
-        Ok(n) => format!("#num:{n}"),
-        Err(_) => format!("#str:{t}"),
+///
+/// Numeric keys are the parsed `f64`'s bit pattern (NaNs collapsed to
+/// one), which identifies exactly the values the old
+/// `format!("#num:{n}")` key did — Rust's float formatting is
+/// round-trippable, so distinct non-NaN floats never share a rendering
+/// and `-0.0` keeps its sign — without building a `String` per value.
+fn num_key(trimmed: &str) -> Option<u64> {
+    let n: f64 = trimmed.parse().ok()?;
+    Some(if n.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        n.to_bits()
+    })
+}
+
+/// The build-side index: numeric and string keys hash separately so
+/// the probe side can look up with a borrowed `&str` (no per-probe
+/// key allocation).
+#[derive(Default)]
+struct JoinIndex {
+    num: HashMap<u64, Vec<usize>>,
+    text: HashMap<String, Vec<usize>>,
+}
+
+impl JoinIndex {
+    fn lookup(&self, value: &str) -> Option<&[usize]> {
+        let t = value.trim();
+        match num_key(t) {
+            Some(bits) => self.num.get(&bits),
+            None => self.text.get(t),
+        }
+        .map(Vec::as_slice)
     }
 }
 
@@ -165,22 +192,36 @@ fn hash_join(
     } else {
         (right, left, right_path, left_path, false)
     };
-    let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut index = JoinIndex::default();
+    let mut seen_num: Vec<u64> = Vec::new();
+    let mut seen_text: Vec<String> = Vec::new();
     for (i, item) in build.iter().enumerate() {
-        let mut seen = Vec::new();
+        seen_num.clear();
+        seen_text.clear();
         for v in build_path.select_values(item) {
-            let k = join_key(&v);
-            if !seen.contains(&k) {
-                table.entry(k.clone()).or_default().push(i);
-                seen.push(k);
+            let t = v.trim();
+            match num_key(t) {
+                Some(bits) => {
+                    if !seen_num.contains(&bits) {
+                        index.num.entry(bits).or_default().push(i);
+                        seen_num.push(bits);
+                    }
+                }
+                None => {
+                    if !seen_text.iter().any(|s| s == t) {
+                        index.text.entry(t.to_owned()).or_default().push(i);
+                        seen_text.push(t.to_owned());
+                    }
+                }
             }
         }
     }
     let mut out = Vec::new();
+    let mut matched: Vec<usize> = Vec::new();
     for probe_item in probe {
-        let mut matched: Vec<usize> = Vec::new();
+        matched.clear();
         for v in probe_path.select_values(probe_item) {
-            if let Some(idxs) = table.get(&join_key(&v)) {
+            if let Some(idxs) = index.lookup(&v) {
                 for &i in idxs {
                     if !matched.contains(&i) {
                         matched.push(i);
@@ -189,7 +230,7 @@ fn hash_join(
             }
         }
         matched.sort_unstable();
-        for i in matched {
+        for &i in &matched {
             let (l, r) = if build_is_left {
                 (&build[i], probe_item)
             } else {
@@ -215,7 +256,7 @@ fn aggregate(func: AggFunc, path: Option<&Path>, items: &[Element]) -> Element {
             .iter()
             .flat_map(|i| match path {
                 Some(p) => p.select_values(i),
-                None => vec![i.deep_text()],
+                None => vec![i.deep_text().into_owned()],
             })
             .filter_map(|v| v.trim().parse::<f64>().ok())
             .collect()

@@ -288,6 +288,10 @@ impl<P: Clone> SimNet<P> {
             self.enqueue_msg(self.now + base, from, to, bytes, payload);
             return;
         };
+        // The fate is fully drawn before any copy is constructed: the
+        // payload is cloned only when both the duplicate *and* the
+        // original actually enter the queue. (The duplicate keeps the
+        // earlier sequence number either way, so traces are unchanged.)
         if let Some(dup_jitter) = fate.duplicate_jitter_us {
             // The duplicate is a full extra copy: counted as sent so
             // the accounting identity stays exact.
@@ -295,13 +299,15 @@ impl<P: Clone> SimNet<P> {
             self.stats.bytes_sent += bytes as u64;
             self.stats.per_node[from].0 += 1;
             self.stats.messages_duplicated += 1;
-            self.enqueue_msg(
-                self.now + base + dup_jitter,
-                from,
-                to,
-                bytes,
-                payload.clone(),
-            );
+            let dup_at = self.now + base + dup_jitter;
+            if fate.lost {
+                self.stats.messages_lost += 1;
+                self.enqueue_msg(dup_at, from, to, bytes, payload);
+            } else {
+                self.enqueue_msg(dup_at, from, to, bytes, payload.clone());
+                self.enqueue_msg(self.now + base + fate.jitter_us, from, to, bytes, payload);
+            }
+            return;
         }
         if fate.lost {
             self.stats.messages_lost += 1;

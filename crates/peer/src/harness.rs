@@ -393,7 +393,7 @@ impl SimHarness {
                 let dead = self.peers[entry.to].id().clone();
                 // §4.2 fallback: drop Or-alternatives that require the
                 // dead server (when others survive), then re-route.
-                let pruned = mqp_core::rewrite::prune_server_alternatives(&mut mqp.plan, &dead);
+                let pruned = mqp_core::rewrite::prune_server_alternatives(mqp.plan_mut(), &dead);
                 // The detour is provenance-visible (invariant 7).
                 mqp.record(VisitRecord {
                     server: sender.id().clone(),
@@ -413,7 +413,7 @@ impl SimHarness {
                 // no alternative, resend to the same hop (it may be
                 // mid-churn and rejoin).
                 let next = sender
-                    .route_excluding(&mqp.plan, &mqp.visited(), &dead)
+                    .route_excluding(mqp.plan(), &mqp.visited(), &dead)
                     .and_then(|s| self.index_of.get(&s).copied())
                     .unwrap_or(entry.to);
                 let wire = mqp.to_wire();
@@ -446,7 +446,7 @@ impl SimHarness {
             }
         };
         let qid = mqp
-            .plan
+            .plan()
             .target()
             .and_then(|t| t.rsplit_once('#'))
             .and_then(|(_, q)| q.parse::<u64>().ok());
@@ -465,7 +465,7 @@ impl SimHarness {
                 // the URN (an index/meta server that knows the area),
                 // not whoever happened to finish the reduction.
                 let binder = mqp
-                    .provenance
+                    .provenance()
                     .iter()
                     .find(|v| v.action == mqp_core::Action::Bound)
                     .map(|v| v.server.clone());
@@ -475,8 +475,8 @@ impl SimHarness {
                         // §5.1 audit at the completing server: every
                         // source of the original plan must be accounted
                         // for by some visit — detours included.
-                        stats.audit_clean = mqp.original.as_ref().map(|orig| {
-                            mqp_core::unaccounted_sources(orig, &mqp.provenance).is_empty()
+                        stats.audit_clean = mqp.original().map(|orig| {
+                            mqp_core::unaccounted_sources(orig, mqp.provenance()).is_empty()
                         });
                     }
                 }

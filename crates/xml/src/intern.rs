@@ -1,0 +1,299 @@
+//! Interned element/attribute names.
+//!
+//! Plan vocabularies are tiny — a travelling MQP uses a dozen element
+//! names (`select`, `join`, `urn`, …) repeated across thousands of
+//! nodes, and data bundles repeat their item schema for every row. A
+//! [`Name`] is an `Arc<str>` deduplicated through a thread-local pool,
+//! so parsing a document allocates one name per *distinct* tag instead
+//! of one per node, cloning a tree bumps reference counts instead of
+//! copying bytes, and equality checks usually reduce to a pointer
+//! compare.
+//!
+//! The pool is thread-local (no locks on the hot path); names crossing
+//! threads stay valid — they just stop sharing storage with later
+//! interns on the other thread. The pool is capped so hostile inputs
+//! with unbounded vocabularies cannot pin memory: past the cap, names
+//! are still constructed, just not remembered.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Upper bound on distinct names remembered per thread. Real plan and
+/// data vocabularies are a few dozen names; this is a safety valve, not
+/// a tuning knob.
+const POOL_CAP: usize = 1 << 16;
+
+/// FxHash-style multiply-rotate hasher for the pool: names are short
+/// (a handful of bytes) and interning sits on the parse hot path, where
+/// SipHash's per-lookup cost is measurable. Not DoS-resistant — the
+/// pool is capped and per-thread, so the worst an adversarial
+/// vocabulary can do is degrade its own thread's probe chains.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | u64::from(b);
+        }
+        self.0 = (self.0.rotate_left(5) ^ tail).wrapping_mul(SEED);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type Pool = HashSet<Arc<str>, BuildHasherDefault<FxHasher>>;
+
+/// A tiny most-recently-used front for the pool: parsed documents
+/// repeat a handful of names back to back (`item`, `title`, `price`,
+/// …), so most interns resolve with one or two short string compares
+/// and never touch the hash table.
+#[derive(Default)]
+struct Mru {
+    slots: [Option<Arc<str>>; 4],
+    next: usize,
+}
+
+impl Mru {
+    fn get(&self, s: &str) -> Option<Arc<str>> {
+        self.slots
+            .iter()
+            .flatten()
+            .find(|a| ***a == *s)
+            .map(Arc::clone)
+    }
+
+    fn put(&mut self, a: Arc<str>) {
+        self.slots[self.next] = Some(a);
+        self.next = (self.next + 1) % self.slots.len();
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+    static MRU: RefCell<Mru> = RefCell::new(Mru::default());
+}
+
+/// An interned element or attribute name (see module docs).
+///
+/// Behaves like an immutable string: it derefs to `str`, compares and
+/// hashes by content (so `HashMap<Name, _>` lookups by `&str` work via
+/// `Borrow`), and `Display`s without quotes.
+#[derive(Clone)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Interns `s`, returning the pooled copy when one exists.
+    pub fn new(s: &str) -> Name {
+        if let Some(a) = MRU.with(|m| m.borrow().get(s)) {
+            return Name(a);
+        }
+        let a = POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if let Some(a) = pool.get(s) {
+                return Arc::clone(a);
+            }
+            let a: Arc<str> = Arc::from(s);
+            if pool.len() < POOL_CAP {
+                pool.insert(Arc::clone(&a));
+            }
+            a
+        });
+        MRU.with(|m| m.borrow_mut().put(Arc::clone(&a)));
+        Name(a)
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for Name {
+    fn default() -> Self {
+        Name::new("")
+    }
+}
+
+impl Deref for Name {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        // Same-pool names share storage, so the common case is one
+        // pointer compare; cross-thread names fall back to bytes.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Name {}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with `str::hash` for the `Borrow<str>` contract.
+        (*self.0).hash(state);
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Name {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<Name> for str {
+    fn eq(&self, other: &Name) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for &str {
+    fn eq(&self, other: &Name) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Name {
+        Name::new(s)
+    }
+}
+
+impl From<&String> for Name {
+    fn from(s: &String) -> Name {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Name {
+        Name::new(&s)
+    }
+}
+
+impl From<&Name> for Name {
+    fn from(n: &Name) -> Name {
+        n.clone()
+    }
+}
+
+impl From<Name> for String {
+    fn from(n: Name) -> String {
+        n.as_str().to_owned()
+    }
+}
+
+impl From<&Name> for String {
+    fn from(n: &Name) -> String {
+        n.as_str().to_owned()
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn interning_shares_storage() {
+        let a = Name::new("select");
+        let b = Name::new("select");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compares_with_str_both_ways() {
+        let n = Name::new("plan");
+        assert!(n == "plan");
+        assert!("plan" == n);
+        assert!(n == *"plan");
+        assert!(n != "plam");
+        assert_eq!(n, "plan".to_owned());
+    }
+
+    #[test]
+    fn map_lookup_by_str() {
+        let mut m: HashMap<Name, u32> = HashMap::new();
+        m.insert(Name::new("price"), 1);
+        assert_eq!(m.get("price"), Some(&1));
+        assert_eq!(m.get("title"), None);
+    }
+
+    #[test]
+    fn cross_thread_names_still_equal() {
+        let a = Name::new("join");
+        let b = std::thread::spawn(|| Name::new("join")).join().unwrap();
+        assert!(!Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let n = Name::new("a-b");
+        assert_eq!(n.to_string(), "a-b");
+        assert_eq!(format!("{n:?}"), "\"a-b\"");
+    }
+
+    #[test]
+    fn string_conversions() {
+        let n = Name::from("x".to_owned());
+        let s: String = n.clone().into();
+        assert_eq!(s, "x");
+        assert_eq!(n.as_str(), "x");
+    }
+}

@@ -6,7 +6,10 @@
 //! plans never carry them, and dropping them keeps structural equality
 //! meaningful for plan reduction.
 
+use std::borrow::Cow;
 use std::fmt;
+
+use crate::intern::Name;
 
 /// A child of an [`Element`]: either a nested element or a text run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -61,19 +64,23 @@ impl From<&str> for Node {
 /// An XML element: a name, ordered `(name, value)` attributes, and
 /// ordered mixed children.
 ///
+/// Element and attribute names are interned [`Name`]s — deduplicated
+/// `Arc<str>`s — so a parsed document allocates per *distinct* name,
+/// not per node, and cloning a subtree copies no name bytes.
+///
 /// Attribute order is preserved so serialization is deterministic; lookup
 /// is linear, which is faster than hashing for the handful of attributes
 /// plan nodes carry.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Element {
-    name: String,
-    attributes: Vec<(String, String)>,
+    name: Name,
+    attributes: Vec<(Name, String)>,
     children: Vec<Node>,
 }
 
 impl Element {
     /// Creates an empty element with the given tag name.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Name>) -> Self {
         Element {
             name: name.into(),
             attributes: Vec::new(),
@@ -86,8 +93,13 @@ impl Element {
         &self.name
     }
 
+    /// The tag name as its interned handle (cheap to clone and compare).
+    pub fn interned_name(&self) -> &Name {
+        &self.name
+    }
+
     /// Renames the element in place.
-    pub fn set_name(&mut self, name: impl Into<String>) {
+    pub fn set_name(&mut self, name: impl Into<Name>) {
         self.name = name.into();
     }
 
@@ -96,7 +108,7 @@ impl Element {
     // ------------------------------------------------------------------
 
     /// Adds (or replaces) an attribute; returns `self` for chaining.
-    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn attr(mut self, name: impl Into<Name>, value: impl Into<String>) -> Self {
         self.set_attr(name, value);
         self
     }
@@ -123,7 +135,7 @@ impl Element {
     // ------------------------------------------------------------------
 
     /// Sets an attribute, replacing an existing one of the same name.
-    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+    pub fn set_attr(&mut self, name: impl Into<Name>, value: impl Into<String>) {
         let name = name.into();
         let value = value.into();
         if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
@@ -178,7 +190,7 @@ impl Element {
     }
 
     /// All attributes in document order.
-    pub fn attrs(&self) -> &[(String, String)] {
+    pub fn attrs(&self) -> &[(Name, String)] {
         &self.attributes
     }
 
@@ -202,29 +214,49 @@ impl Element {
         self.child_elements().find(|e| e.name == name)
     }
 
-    /// All element children with the given tag name.
+    /// All element children with the given tag name. (Deliberately
+    /// does *not* intern `name`: lookups with arbitrary caller strings
+    /// must not populate the interner pool.)
     pub fn all(&self, name: &str) -> impl Iterator<Item = &Element> {
         let name = name.to_owned();
         self.child_elements().filter(move |e| e.name == name)
     }
 
-    /// Concatenated text content of this element's *direct* text children.
-    pub fn direct_text(&self) -> String {
-        let mut out = String::new();
-        for c in &self.children {
-            if let Node::Text(t) = c {
-                out.push_str(t);
-            }
+    /// Concatenated text content of this element's *direct* text
+    /// children. Borrows when there is at most one text child (the
+    /// common case for data fields); allocates only for mixed content.
+    pub fn direct_text(&self) -> Cow<'_, str> {
+        let mut texts = self.children.iter().filter_map(Node::as_text);
+        let Some(first) = texts.next() else {
+            return Cow::Borrowed("");
+        };
+        let Some(second) = texts.next() else {
+            return Cow::Borrowed(first);
+        };
+        let mut out = String::with_capacity(first.len() + second.len());
+        out.push_str(first);
+        out.push_str(second);
+        for t in texts {
+            out.push_str(t);
         }
-        out
+        Cow::Owned(out)
     }
 
     /// Concatenated text content of the whole subtree (like XPath
-    /// `string()`).
-    pub fn deep_text(&self) -> String {
-        let mut out = String::new();
-        self.collect_text(&mut out);
-        out
+    /// `string()`). Borrows along single-child chains — `<price>9.50
+    /// </price>` costs nothing — and allocates only for genuinely mixed
+    /// subtrees.
+    pub fn deep_text(&self) -> Cow<'_, str> {
+        match self.children.as_slice() {
+            [] => Cow::Borrowed(""),
+            [Node::Text(t)] => Cow::Borrowed(t),
+            [Node::Element(e)] => e.deep_text(),
+            _ => {
+                let mut out = String::new();
+                self.collect_text(&mut out);
+                Cow::Owned(out)
+            }
+        }
     }
 
     fn collect_text(&self, out: &mut String) {

@@ -24,11 +24,32 @@ pub fn parse_document(input: &str) -> Result<Element> {
     Ok(root)
 }
 
-/// Parses a single element from the input (lenient: ignores leading
-/// whitespace, requires nothing after the element). This is the entry
-/// point used when deserializing MQPs.
+/// Parses a single element from the input. This is the entry point used
+/// when deserializing MQPs.
+///
+/// Fast path: wire messages are produced by [`crate::serialize`], whose
+/// canonical output the zero-copy parser in [`crate::canon`] accepts
+/// directly (borrowed name/text slices, interned names, no per-entity
+/// allocations). Anything else — pretty-printed plans, prologs,
+/// comments, hand-written XML — falls back to this module's lenient
+/// recursive-descent parser, which also produces the real error when
+/// the input is malformed.
 pub fn parse(input: &str) -> Result<Element> {
+    if let Some(e) = crate::canon::parse_canonical(input) {
+        return Ok(e);
+    }
     parse_document(input)
+}
+
+/// True for bytes that may start an XML name (shared with the canonical
+/// tokenizer so both parsers accept the same names).
+pub(crate) fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+/// True for bytes that may continue an XML name.
+pub(crate) fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
 }
 
 struct Parser<'a> {
@@ -142,24 +163,16 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn is_name_start(b: u8) -> bool {
-        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
-    }
-
-    fn is_name_char(b: u8) -> bool {
-        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
-    }
-
     fn parse_name(&mut self) -> Result<String> {
         let start = self.pos;
         match self.peek() {
-            Some(b) if Self::is_name_start(b) => {
+            Some(b) if is_name_start(b) => {
                 self.pos += 1;
             }
             Some(b) => return Err(self.err(ErrorKind::UnexpectedChar(b as char))),
             None => return Err(self.err(ErrorKind::UnexpectedEof)),
         }
-        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+        while matches!(self.peek(), Some(b) if is_name_char(b)) {
             self.pos += 1;
         }
         Ok(self.input[start..self.pos].to_owned())
@@ -183,7 +196,7 @@ impl<'a> Parser<'a> {
                     self.expect(">")?;
                     return Ok(el);
                 }
-                Some(b) if Self::is_name_start(b) => {
+                Some(b) if is_name_start(b) => {
                     let aname = self.parse_name()?;
                     if el.get_attr(&aname).is_some() {
                         return Err(self.err(ErrorKind::DuplicateAttribute(aname)));

@@ -134,4 +134,59 @@ proptest! {
     fn parser_never_panics_on_arbitrary_input(s in "[ -~<>&;/\"']{0,64}") {
         let _ = parse(&s); // must not panic
     }
+
+    /// The zero-copy canonical parser agrees node-for-node with the
+    /// lenient parser on every serializer output, and its byte-span
+    /// guarantee holds: each recorded element span re-serializes to
+    /// exactly its input bytes (what envelope splicing relies on).
+    #[test]
+    fn canonical_parse_agrees_with_lenient(e in arb_element()) {
+        let s = serialize(&e);
+        let (canon, span) = crate::canon::parse_canonical_spanned(&s, 2)
+            .expect("serializer output must canonical-parse");
+        let lenient = crate::parse_document(&s).expect("must parse leniently");
+        prop_assert_eq!(&canon, &lenient);
+        prop_assert_eq!(&canon, &e);
+        prop_assert_eq!((span.start, span.end), (0, s.len()));
+        for (child, sp) in canon.child_elements().zip(&span.children) {
+            prop_assert_eq!(serialize(child), sp.slice(&s));
+            for (grand, gsp) in child.child_elements().zip(&sp.children) {
+                prop_assert_eq!(serialize(grand), gsp.slice(&s));
+            }
+        }
+    }
+
+    /// Whatever the canonical parser accepts — including inputs we never
+    /// generated ourselves — it must agree with the lenient parser and
+    /// re-serialize byte-identically. Rejections are fine (they fall
+    /// back); disagreements are not.
+    #[test]
+    fn canonical_never_disagrees_on_arbitrary_input(s in "[ -~<>&;/\"'=]{0,64}") {
+        if let Some(e) = crate::canon::parse_canonical(&s) {
+            prop_assert_eq!(serialize(&e), s.clone(), "byte-identity");
+            let lenient = crate::parse_document(&s).expect("canonical subset of lenient");
+            prop_assert_eq!(e, lenient);
+        }
+    }
+
+    /// `skip_subtree` accepts exactly what `TreeBuilder::build` accepts
+    /// — the guarantee that lets the envelope validate its `<original>`
+    /// section at parse time and materialize it lazily.
+    #[test]
+    fn skip_agrees_with_build(s in "[ -~<>&;/\"'=]{0,64}") {
+        use crate::canon::{skip_subtree, Token, Tokenizer, TreeBuilder};
+        let run = |skip: bool| -> bool {
+            let mut tok = Tokenizer::new(&s);
+            let Ok(Some(Token::Open(name))) = tok.next_token() else {
+                return false;
+            };
+            let ok = if skip {
+                skip_subtree(&mut tok, name).is_ok()
+            } else {
+                TreeBuilder::new().build(&mut tok, name).is_ok()
+            };
+            ok && matches!(tok.next_token(), Ok(None))
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
 }

@@ -15,6 +15,13 @@ pub fn serialize(el: &Element) -> String {
     out
 }
 
+/// Compact serialization appended to an existing buffer — the building
+/// block for callers that assemble larger wire messages (e.g. the plan
+/// codec) without intermediate strings.
+pub fn serialize_into(el: &Element, out: &mut String) {
+    write_element(el, out);
+}
+
 /// Indented serialization for human consumption. Text nodes are emitted
 /// inline (no reflow) so mixed content stays lossless.
 pub fn serialize_pretty(el: &Element) -> String {

@@ -189,13 +189,13 @@ impl Path {
                 return prefix
                     .select_elements(root)
                     .into_iter()
-                    .map(|e| e.direct_text())
+                    .map(|e| e.direct_text().into_owned())
                     .collect();
             }
         }
         self.select_elements(root)
             .into_iter()
-            .map(|e| e.deep_text())
+            .map(|e| e.deep_text().into_owned())
             .collect()
     }
 

@@ -25,7 +25,7 @@
 //!
 //! // …and any peer can parse it back and keep mutating it.
 //! let back = Mqp::from_wire(&wire).unwrap();
-//! assert_eq!(back.plan.urns().len(), 1);
+//! assert_eq!(back.plan().urns().len(), 1);
 //! ```
 
 pub use mqp_algebra as algebra;

@@ -151,22 +151,22 @@ fn provenance_audit_detects_spoofing() {
         Outcome::Complete { items, .. } => assert_eq!(items.len(), 2),
         other => panic!("expected complete, got {other:?}"),
     }
-    assert!(unaccounted_sources(honest.original.as_ref().unwrap(), &honest.provenance).is_empty());
+    assert!(unaccounted_sources(honest.original().unwrap(), honest.provenance()).is_empty());
 
     // Spoofed run: S binds T's source to empty data without visiting T.
     let mut spoofed = Mqp::new(Plan::display("client#0", original));
     // Malicious S: replace T's URL with empty data, evaluate only its own.
     let t_path = spoofed
-        .plan
+        .plan()
         .find_all(&|p| matches!(p, Plan::Url(u) if u.href == "mqp://T/"))
         .pop()
         .unwrap();
-    spoofed.plan.replace(&t_path, Plan::data([])).unwrap();
+    spoofed.plan_mut().replace(&t_path, Plan::data([])).unwrap();
     match s.process(&mut spoofed) {
         Outcome::Complete { items, .. } => assert_eq!(items.len(), 1), // T's data gone
         other => panic!("expected complete, got {other:?}"),
     }
-    let missing = unaccounted_sources(spoofed.original.as_ref().unwrap(), &spoofed.provenance);
+    let missing = unaccounted_sources(spoofed.original().unwrap(), spoofed.provenance());
     assert_eq!(missing, vec!["mqp://T/".to_owned()]);
 
     // The verification query against T (count of the spoofed source)
@@ -234,14 +234,14 @@ fn envelope_survives_multi_hop_serialization() {
     }
     // Provenance recorded both evaluations across serialization.
     let evaluators: Vec<&str> = mqp2
-        .provenance
+        .provenance()
         .iter()
         .filter(|v| v.action == Action::Evaluated)
         .map(|v| v.server.as_str())
         .collect();
     assert!(evaluators.contains(&"s1"));
     assert!(evaluators.contains(&"s2"));
-    mqp.record(mqp2.provenance[0].clone()); // keep mqp mutable use
+    mqp.record(mqp2.provenance()[0].clone()); // keep mqp mutable use
 }
 
 /// Figure 4(a)'s select-through-union pushdown happens on the real
@@ -264,8 +264,8 @@ fn figure4a_pushdown_on_pipeline() {
     let out = meta.process(&mut mqp);
     assert!(matches!(out, mqp::core::Outcome::Forward { .. }));
     // The plan now unions per-seller selects (pushdown applied).
-    let selects = mqp.plan.find_all(&|p| matches!(p, Plan::Select { .. }));
-    assert_eq!(selects.len(), 2, "plan:\n{}", mqp.plan);
+    let selects = mqp.plan().find_all(&|p| matches!(p, Plan::Select { .. }));
+    assert_eq!(selects.len(), 2, "plan:\n{}", mqp.plan());
 }
 
 /// Or-alternatives survive the wire: binding staleness annotations are
@@ -284,7 +284,7 @@ fn or_staleness_round_trips_the_wire() {
     );
     let mqp = Mqp::new(plan);
     let back = Mqp::from_wire(&mqp.to_wire()).unwrap();
-    match &back.plan {
+    match back.plan() {
         Plan::Display { input, .. } => match input.as_ref() {
             Plan::Or(alts) => {
                 assert_eq!(alts[0].staleness, Some(30));
@@ -335,10 +335,10 @@ fn ordering_and_transfer_policies() {
     use mqp::core::Outcome;
     let out = prefs_srv.process(&mut mqp);
     assert_eq!(
-        mqp.plan.urns().len(),
+        mqp.plan().urns().len(),
         2,
         "prefs bound too early:\n{}",
-        mqp.plan
+        mqp.plan()
     );
     // It cannot route anywhere it knows, so it reports stuck; the
     // client would then send to the playlist server (the allowed list
@@ -348,7 +348,7 @@ fn ordering_and_transfer_policies() {
     // At the playlist server the playlist binds and reduces…
     let out = playlist_srv.process(&mut mqp);
     assert!(mqp
-        .provenance
+        .provenance()
         .iter()
         .any(|v| v.action == Action::Bound && v.detail.contains("urn:CD:Playlist")));
     let _ = out;

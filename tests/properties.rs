@@ -86,6 +86,59 @@ proptest! {
         let back = mqp::core::Mqp::from_wire(&mqp.to_wire()).expect("reparse");
         prop_assert_eq!(back, mqp);
     }
+
+    /// DESIGN.md §7: cached-fragment re-serialization is pure
+    /// memoization. Under arbitrary interleavings of plan mutation,
+    /// provenance appends, and wire round-trips (which seed the caches
+    /// from received bytes), `to_wire()` stays byte-identical to
+    /// serializing the tree form, and `wire_size()` stays exactly
+    /// `to_wire().len()` — checked after *every* step, so a stale
+    /// fragment anywhere shows up immediately.
+    #[test]
+    fn incremental_reserialization_is_byte_identical(
+        plan in arb_data_plan(),
+        ops in proptest::collection::vec((0u8..4, any::<prop::sample::Index>()), 0..10),
+    ) {
+        use mqp::catalog::ServerId;
+        use mqp::core::{Action, Mqp, VisitRecord};
+
+        let mut m = Mqp::new(Plan::display("c#1", plan));
+        for (step, (op, pick)) in ops.into_iter().enumerate() {
+            match op {
+                // Mutate the plan through the dirty-bit path.
+                0 => {
+                    let paths = m.plan().find_all(&|_| true);
+                    let path = paths[pick.index(paths.len())].clone();
+                    let _ = m.plan_mut().replace(&path, Plan::data([]));
+                }
+                // Append provenance (cached fragments stay a prefix).
+                1 => m.record(VisitRecord {
+                    server: ServerId::new(format!("s{step}")),
+                    action: Action::Rewrote,
+                    detail: format!("op {step} @ {}", pick.index(97)),
+                    at: step as u64,
+                    staleness: (step % 7) as u32,
+                }),
+                // Round-trip through the wire: the canonical parser
+                // seeds every section cache from the received bytes.
+                2 => {
+                    let wire = m.to_wire();
+                    let back = Mqp::from_wire(&wire).expect("reparse");
+                    prop_assert_eq!(&back, &m);
+                    prop_assert_eq!(back.to_wire(), wire);
+                    m = back;
+                }
+                // Touch the plan without changing it: invalidation must
+                // be conservative, never unsound.
+                _ => {
+                    let _ = m.plan_mut();
+                }
+            }
+            let full = mqp::xml::serialize(&m.to_xml());
+            prop_assert_eq!(m.to_wire(), full.clone());
+            prop_assert_eq!(m.wire_size(), full.len());
+        }
+    }
 }
 
 proptest! {

@@ -23,7 +23,7 @@ fn facade_wire_roundtrip_matches_doc_test() {
 
     // …and any peer can parse it back and keep mutating it.
     let back = Mqp::from_wire(&wire).unwrap();
-    assert_eq!(back.plan.urns().len(), 1);
+    assert_eq!(back.plan().urns().len(), 1);
 }
 
 #[test]
