@@ -15,6 +15,8 @@
 //! | `exp_currency_latency` | §4.3 tradeoff |
 //! | `exp_provenance_spoofing` | §5.1 spoofing detection |
 //! | `exp_index_detail_tradeoff` | §3.2 index vs. meta-index detail |
+//! | `exp_churn_resilience` | §2/§5.1 recall + audits under churn |
+//! | `exp_threaded_throughput` | DESIGN.md §8 real-thread scaling |
 //!
 //! Run any of them with
 //! `cargo run -p mqp-bench --release --bin <name>`. Criterion

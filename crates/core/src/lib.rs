@@ -32,6 +32,7 @@ pub mod mqp;
 pub mod policy;
 pub mod processor;
 pub mod provenance;
+pub mod query;
 pub mod rewrite;
 
 pub use constraints::Constraints;
@@ -39,3 +40,4 @@ pub use mqp::Mqp;
 pub use policy::Policy;
 pub use processor::{Outcome, Processor, ServerContext};
 pub use provenance::{unaccounted_sources, verification_query, Action, VisitRecord};
+pub use query::{QueryId, QueryOutcome};

@@ -1,0 +1,89 @@
+//! Query identity and outcome types shared by every MQP host.
+//!
+//! A query is born when a client submits a plan to a driver (the
+//! deterministic simulator's `SimHarness` or the real-thread
+//! `ThreadedCluster`, both in `mqp-peer`) and dies when some peer
+//! produces a [`QueryOutcome`] for it. Both sides of that lifecycle are
+//! host-independent, so the types live here rather than in any driver.
+
+use std::fmt;
+
+use mqp_xml::Element;
+
+/// Identifies one submitted query. Allocated by the submitting
+/// front-end (`SimHarness::submit` / `MqpClient::submit`) and threaded
+/// through the envelope's display target (`client#<qid>`), wire-frame
+/// headers, and the final [`QueryOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(u64);
+
+impl QueryId {
+    /// Wraps a raw id.
+    pub fn new(raw: u64) -> Self {
+        QueryId(raw)
+    }
+
+    /// The raw id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for QueryId {
+    fn from(raw: u64) -> Self {
+        QueryId(raw)
+    }
+}
+
+impl From<QueryId> for u64 {
+    fn from(qid: QueryId) -> u64 {
+        qid.0
+    }
+}
+
+/// Final outcome of one query, as reported by whichever peer completed
+/// (or gave up on) it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Query id (from the submitting front-end).
+    pub qid: QueryId,
+    /// Result items (empty when stuck).
+    pub items: Vec<Element>,
+    /// `None` on success; the reason when the query got stuck.
+    pub failure: Option<String>,
+    /// Completion time minus submission time (µs) — simulated time
+    /// under the simulator, wall-clock under the threaded cluster.
+    pub latency_us: u64,
+    /// MQP hops (server-to-server forwards, including the final result
+    /// delivery).
+    pub hops: u64,
+    /// Total MQP bytes shipped for this query.
+    pub mqp_bytes: u64,
+    /// Timeout-driven retries (detours) this query needed.
+    pub retries: u64,
+    /// §5.1 provenance audit of the completed envelope: `Some(true)`
+    /// when every original source was bound/resolved/evaluated by some
+    /// visited server — retry detours included (invariant 7).
+    pub audit_clean: Option<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_id_roundtrips_and_displays() {
+        let q = QueryId::new(17);
+        assert_eq!(q.raw(), 17);
+        assert_eq!(u64::from(q), 17);
+        assert_eq!(QueryId::from(17u64), q);
+        assert_eq!(q.to_string(), "17");
+        assert!(QueryId::new(1) < QueryId::new(2));
+    }
+}

@@ -23,9 +23,10 @@
 //!   availability experiments exercise the "R may be unavailable"
 //!   scenario of §4.2 Example 3. Churn schedules drive the same
 //!   machinery on a clock.
-//! * [`threaded`] — a small `std::sync::mpsc` transport used by the
-//!   live (non-simulated) examples, so the same peer code can run on
-//!   real OS threads.
+//! * [`threaded`] — a `std::sync::mpsc` transport carrying real wire
+//!   bytes (`Envelope::payload`), over which `mqp_peer`'s
+//!   `ThreadedCluster` drives the same sans-IO peer protocol on real
+//!   OS threads.
 
 pub mod fault;
 pub mod sim;

@@ -1,34 +1,43 @@
-//! A small in-process transport over `std::sync::mpsc` channels, for
-//! running peers on real OS threads (the live examples). Same shape as
-//! the simulator's API — `send(from, to, bytes, payload)` / blocking
-//! receive — so peer logic is transport-agnostic.
+//! An in-process transport over `std::sync::mpsc` channels, for running
+//! peers on real OS threads. Unlike the simulator — which moves typed
+//! payloads and *charges* a logical byte count — this transport carries
+//! the actual serialized wire bytes of every message, so the byte count
+//! is a property of the payload, not an argument the sender asserts.
+//! `mqp_peer::ThreadedCluster` drives the sans-IO `PeerNode` protocol
+//! core over these endpoints.
 
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::time::Duration;
 
 use crate::topology::NodeId;
 
-/// A message received from the threaded transport.
+/// A message received from the threaded transport: real wire bytes
+/// plus addressing.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Envelope<P> {
+pub struct Envelope {
     /// Sender.
     pub from: NodeId,
     /// Receiver.
     pub to: NodeId,
-    /// Payload size (accounting only; no artificial delay is applied).
-    pub bytes: usize,
-    /// The payload.
-    pub payload: P,
+    /// The serialized wire bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Size on the wire — derived from the payload, never asserted.
+    pub fn bytes(&self) -> usize {
+        self.payload.len()
+    }
 }
 
 /// One node's endpoint: can send to any node and receive its own mail.
-pub struct Endpoint<P> {
+pub struct Endpoint {
     id: NodeId,
-    senders: Vec<Sender<Envelope<P>>>,
-    inbox: Receiver<Envelope<P>>,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
 }
 
-impl<P> Endpoint<P> {
+impl Endpoint {
     /// This endpoint's node id.
     pub fn id(&self) -> NodeId {
         self.id
@@ -44,14 +53,13 @@ impl<P> Endpoint<P> {
         self.senders.is_empty()
     }
 
-    /// Sends a payload to `to`. Returns `false` if the destination's
+    /// Sends wire bytes to `to`. Returns `false` if the destination's
     /// endpoint has been dropped (node "down").
-    pub fn send(&self, to: NodeId, bytes: usize, payload: P) -> bool {
+    pub fn send(&self, to: NodeId, payload: Vec<u8>) -> bool {
         self.senders[to]
             .send(Envelope {
                 from: self.id,
                 to,
-                bytes,
                 payload,
             })
             .is_ok()
@@ -59,18 +67,18 @@ impl<P> Endpoint<P> {
 
     /// Blocking receive with timeout. `None` on timeout or when all
     /// senders are gone.
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<P>> {
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
         self.inbox.recv_timeout(timeout).ok()
     }
 
     /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<Envelope<P>> {
+    pub fn try_recv(&self) -> Option<Envelope> {
         self.inbox.try_recv().ok()
     }
 }
 
 /// Creates a fully connected in-process transport with `n` endpoints.
-pub fn mesh<P>(n: usize) -> Vec<Endpoint<P>> {
+pub fn mesh(n: usize) -> Vec<Endpoint> {
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
@@ -96,39 +104,43 @@ mod tests {
 
     #[test]
     fn mesh_roundtrip_across_threads() {
-        let mut eps = mesh::<String>(3);
+        let mut eps = mesh(3);
         let c = eps.remove(2);
         let b = eps.remove(1);
         let a = eps.remove(0);
         let h1 = thread::spawn(move || {
             // B relays whatever it gets to C.
             let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
-            b.send(2, env.bytes, format!("{} via b", env.payload));
+            let mut relayed = env.payload.clone();
+            relayed.extend_from_slice(b" via b");
+            b.send(2, relayed);
         });
         let h2 = thread::spawn(move || {
             let env = c.recv_timeout(Duration::from_secs(5)).unwrap();
             (env.from, env.payload)
         });
-        assert!(a.send(1, 5, "hello".to_owned()));
+        assert!(a.send(1, b"hello".to_vec()));
         h1.join().unwrap();
         let (from, payload) = h2.join().unwrap();
         assert_eq!(from, 1);
-        assert_eq!(payload, "hello via b");
+        assert_eq!(payload, b"hello via b");
     }
 
     #[test]
-    fn try_recv_empty() {
-        let eps = mesh::<u32>(1);
+    fn byte_count_is_derived_from_payload() {
+        let eps = mesh(1);
         assert!(eps[0].try_recv().is_none());
-        assert!(eps[0].send(0, 0, 42));
-        assert_eq!(eps[0].try_recv().unwrap().payload, 42);
+        assert!(eps[0].send(0, vec![42; 7]));
+        let env = eps[0].try_recv().unwrap();
+        assert_eq!(env.bytes(), 7);
+        assert_eq!(env.payload, vec![42; 7]);
     }
 
     #[test]
     fn send_to_dropped_endpoint_fails() {
-        let mut eps = mesh::<u32>(2);
+        let mut eps = mesh(2);
         let a = eps.remove(0);
         drop(eps); // drop endpoint 1 (its receiver)
-        assert!(!a.send(1, 0, 1));
+        assert!(!a.send(1, Vec::new()));
     }
 }

@@ -1,0 +1,384 @@
+//! The real-thread driver: the same sans-IO [`PeerNode`]s the
+//! simulator runs, each on its own OS thread over the
+//! [`mqp_net::threaded`] transport, with an [`MqpClient`] front-end
+//! for submitting queries and collecting [`QueryOutcome`]s.
+//!
+//! Where the simulator driver is omniscient (free acks, global
+//! completion knowledge, a virtual clock), this driver is honest:
+//! acknowledgements travel as real `ack` frames, retry deadlines are
+//! enforced with receive timeouts against the wall clock, and
+//! completion effects are funneled to the front-end over a results
+//! channel (driver plumbing, not peer traffic — the simulator's
+//! `completed` vector, made concurrent). Both drivers execute the
+//! identical protocol core, which is what the sim-vs-threaded
+//! equivalence test (`tests/equivalence.rs`) pins down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mqp_algebra::plan::Plan;
+use mqp_core::{Mqp, QueryId, QueryOutcome};
+use mqp_net::threaded::{mesh, Endpoint};
+use mqp_net::NodeId;
+
+use crate::node::{Directory, Effect, PeerNode, RetryPolicy};
+use crate::peer::Peer;
+use crate::wire::Frame;
+
+/// How long an idle worker blocks on its inbox before re-checking its
+/// timers.
+const IDLE_WAIT: Duration = Duration::from_millis(50);
+
+/// Aggregate statistics for a cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterStats {
+    /// Wire frames delivered to workers (acks and control included).
+    pub frames_delivered: u64,
+    /// Actual wire bytes delivered to workers.
+    pub bytes_delivered: u64,
+    /// Timeout-driven retries across all workers.
+    pub retries: u64,
+}
+
+struct SharedCounters {
+    frames: AtomicU64,
+    bytes: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// Per-worker driver loop: block on the inbox (bounded by the node's
+/// next retry deadline), feed frames to the node, execute effects.
+fn worker_loop(
+    mut node: PeerNode,
+    endpoint: Endpoint,
+    outcomes: Sender<QueryOutcome>,
+    counters: Arc<SharedCounters>,
+    epoch: Instant,
+    service_delay: Duration,
+) {
+    let now_us = || epoch.elapsed().as_micros() as u64;
+    loop {
+        let wait = match node.next_deadline() {
+            Some(d) => Duration::from_micros(d.saturating_sub(now_us())).min(IDLE_WAIT),
+            None => IDLE_WAIT,
+        };
+        let received = endpoint.recv_timeout(wait);
+        if let Some(env) = received {
+            counters.frames.fetch_add(1, Ordering::Relaxed);
+            counters
+                .bytes
+                .fetch_add(env.bytes() as u64, Ordering::Relaxed);
+            match Frame::kind(&env.payload) {
+                "stop" => return,
+                kind => {
+                    // Model per-envelope service time (store access,
+                    // disk, remote fetch) for MQP processing — the knob
+                    // `exp_threaded_throughput` uses to show the
+                    // cluster overlapping service stalls across
+                    // workers.
+                    if kind == "mqp" && !service_delay.is_zero() {
+                        std::thread::sleep(service_delay);
+                    }
+                    let effects = node.on_message(env.from, &env.payload, now_us());
+                    apply(&endpoint, &outcomes, &counters, effects);
+                }
+            }
+        }
+        // Fire any expired retry watches.
+        if node.next_deadline().is_some_and(|d| d <= now_us()) {
+            let effects = node.on_tick(now_us());
+            apply(&endpoint, &outcomes, &counters, effects);
+        }
+    }
+}
+
+/// Executes a node's effects against the real transport.
+fn apply(
+    endpoint: &Endpoint,
+    outcomes: &Sender<QueryOutcome>,
+    counters: &SharedCounters,
+    effects: Vec<Effect>,
+) {
+    for effect in effects {
+        match effect {
+            Effect::Send { to, bytes } => {
+                // A dropped endpoint is a crashed node: the message is
+                // lost, exactly as on a real network. Retry watches (if
+                // armed) take it from there.
+                let _ = endpoint.send(to, bytes);
+            }
+            Effect::Ack { to, qid } => {
+                let _ = endpoint.send(to, Frame::Ack { qid }.encode());
+            }
+            Effect::Complete(outcome) => {
+                let _ = outcomes.send(outcome);
+            }
+            Effect::Retried { .. } => {
+                counters.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            // The node's internal watch list is the timer state; the
+            // worker loop polls `next_deadline` — nothing to do here.
+            Effect::SetTimer { .. } => {}
+            Effect::Register(_) => {}
+        }
+    }
+}
+
+/// The front-end: submits plans into the cluster and collects
+/// outcomes. Obtained from [`ThreadedCluster::new`]; the cluster and
+/// its client are separable so submission can happen from any thread.
+pub struct MqpClient {
+    endpoint: Endpoint,
+    outcomes: Receiver<QueryOutcome>,
+    next_qid: u64,
+    /// Outcome dedup: under retries the same query can complete twice.
+    seen: std::collections::HashSet<QueryId>,
+}
+
+impl MqpClient {
+    /// Submits `plan` at worker `client` (the peer that becomes the
+    /// query's client). Returns the query id; the outcome arrives
+    /// later via [`MqpClient::poll`] / [`MqpClient::collect`].
+    pub fn submit(&mut self, client: NodeId, plan: &Plan) -> QueryId {
+        let qid = QueryId::new(self.next_qid);
+        self.next_qid += 1;
+        let frame = Frame::Submit {
+            qid,
+            plan: Mqp::without_original(plan.clone()).to_wire(),
+        };
+        assert!(
+            self.endpoint.send(client, frame.encode()),
+            "worker {client} is gone"
+        );
+        qid
+    }
+
+    /// Non-blocking: the next completed outcome, if any.
+    pub fn poll(&mut self) -> Option<QueryOutcome> {
+        loop {
+            let outcome = self.outcomes.try_recv().ok()?;
+            if self.seen.insert(outcome.qid) {
+                return Some(outcome);
+            }
+        }
+    }
+
+    /// Blocking: collects `n` distinct outcomes or gives up after
+    /// `timeout` without progress.
+    pub fn collect(&mut self, n: usize, timeout: Duration) -> Vec<QueryOutcome> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.outcomes.recv_timeout(timeout) {
+                Ok(outcome) => {
+                    if self.seen.insert(outcome.qid) {
+                        out.push(outcome);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+/// A population of peers on real OS threads: one worker thread per
+/// peer, fully connected over `mqp_net::threaded`, plus a client slot
+/// (node `n`) for the front-end.
+pub struct ThreadedCluster {
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<SharedCounters>,
+    n: usize,
+}
+
+impl ThreadedCluster {
+    /// Spawns one worker per peer. Peer `i` sits at node `i`; the
+    /// returned [`MqpClient`] holds node `n`.
+    pub fn new(peers: Vec<Peer>) -> (ThreadedCluster, MqpClient) {
+        Self::with_config(peers, None, Duration::ZERO)
+    }
+
+    /// Spawns with a retry policy and/or a per-envelope service delay
+    /// (see `worker_loop`).
+    pub fn with_config(
+        peers: Vec<Peer>,
+        retry: Option<RetryPolicy>,
+        service_delay: Duration,
+    ) -> (ThreadedCluster, MqpClient) {
+        let n = peers.len();
+        let directory = Arc::new(Directory::new(
+            peers.iter().map(|p| p.id().clone()).collect(),
+        ));
+        let mut endpoints = mesh(n + 1);
+        let client_endpoint = endpoints.pop().expect("client endpoint");
+        let (tx, rx) = channel();
+        let counters = Arc::new(SharedCounters {
+            frames: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        });
+        let epoch = Instant::now();
+        let workers = peers
+            .into_iter()
+            .zip(endpoints)
+            .enumerate()
+            .map(|(i, (peer, endpoint))| {
+                let mut node = PeerNode::new(i, peer, Arc::clone(&directory));
+                node.set_retry(retry);
+                let outcomes = tx.clone();
+                let counters = Arc::clone(&counters);
+                std::thread::Builder::new()
+                    .name(format!("mqp-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(node, endpoint, outcomes, counters, epoch, service_delay)
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        (
+            ThreadedCluster {
+                workers,
+                counters,
+                n,
+            },
+            MqpClient {
+                endpoint: client_endpoint,
+                outcomes: rx,
+                next_qid: 0,
+                seen: std::collections::HashSet::new(),
+            },
+        )
+    }
+
+    /// Number of worker threads.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the cluster has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            frames_delivered: self.counters.frames.load(Ordering::Relaxed),
+            bytes_delivered: self.counters.bytes.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops every worker and joins the threads. Returns final stats.
+    pub fn shutdown(mut self, client: &MqpClient) -> ClusterStats {
+        for i in 0..self.n {
+            let _ = client.endpoint.send(i, Frame::Stop.encode());
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqp_namespace::{Hierarchy, InterestArea, Namespace, Urn};
+    use mqp_xml::parse;
+
+    fn ns() -> Namespace {
+        Namespace::new([
+            Hierarchy::new("Location").with(["USA/OR/Portland"]),
+            Hierarchy::new("Merchandise").with(["Music/CDs"]),
+        ])
+    }
+
+    fn pdx_cds() -> InterestArea {
+        InterestArea::parse(&[&["USA/OR/Portland", "Music/CDs"]])
+    }
+
+    fn world() -> Vec<Peer> {
+        let client = Peer::new("client", ns()).with_default_route("meta");
+        let mut meta = Peer::new("meta", ns());
+        let mut s1 = Peer::new("seller-1", ns());
+        s1.add_collection(
+            "cds",
+            pdx_cds(),
+            [
+                parse("<item><title>A</title><price>8</price></item>").unwrap(),
+                parse("<item><title>B</title><price>12</price></item>").unwrap(),
+            ],
+        );
+        let mut s2 = Peer::new("seller-2", ns());
+        s2.add_collection(
+            "cds",
+            pdx_cds(),
+            [parse("<item><title>C</title><price>9</price></item>").unwrap()],
+        );
+        meta.catalog_mut().register(s1.base_entry());
+        meta.catalog_mut().register(s2.base_entry());
+        vec![client, meta, s1, s2]
+    }
+
+    #[test]
+    fn end_to_end_over_real_threads() {
+        let (cluster, mut client) = ThreadedCluster::new(world());
+        let plan = Plan::select(
+            "price < 10",
+            Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds()))),
+        );
+        let qid = client.submit(0, &plan);
+        let done = client.collect(1, Duration::from_secs(10));
+        assert_eq!(done.len(), 1);
+        let q = &done[0];
+        assert_eq!(q.qid, qid);
+        assert!(q.failure.is_none(), "{:?}", q.failure);
+        let mut titles: Vec<String> = q.items.iter().filter_map(|i| i.field("title")).collect();
+        titles.sort();
+        assert_eq!(titles, ["A", "C"]);
+        assert!(q.hops >= 3);
+        let stats = cluster.shutdown(&client);
+        assert!(stats.frames_delivered > 0);
+        assert!(stats.bytes_delivered > 0);
+    }
+
+    #[test]
+    fn many_concurrent_queries_all_complete() {
+        let (cluster, mut client) = ThreadedCluster::new(world());
+        let plan = Plan::select(
+            "price < 10",
+            Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds()))),
+        );
+        let qids: Vec<QueryId> = (0..24).map(|_| client.submit(0, &plan)).collect();
+        let done = client.collect(qids.len(), Duration::from_secs(10));
+        assert_eq!(done.len(), qids.len());
+        let mut got: Vec<QueryId> = done.iter().map(|q| q.qid).collect();
+        got.sort();
+        assert_eq!(got, qids);
+        for q in &done {
+            assert!(q.failure.is_none(), "{:?}", q.failure);
+            assert_eq!(q.items.len(), 2);
+        }
+        cluster.shutdown(&client);
+    }
+
+    #[test]
+    fn poll_is_nonblocking_and_dedups() {
+        let (cluster, mut client) = ThreadedCluster::new(world());
+        assert!(client.poll().is_none());
+        let qid = client.submit(0, &Plan::url("mqp://seller-2/"));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let outcome = loop {
+            if let Some(o) = client.poll() {
+                break o;
+            }
+            assert!(Instant::now() < deadline, "query never completed");
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(outcome.qid, qid);
+        cluster.shutdown(&client);
+    }
+}

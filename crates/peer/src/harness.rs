@@ -1,153 +1,63 @@
-//! The simulation harness: a population of peers over `mqp-net`,
-//! exchanging serialized MQP envelopes. Every experiment (EXPERIMENTS.md)
-//! runs through this.
+//! The deterministic simulation driver: a population of sans-IO
+//! [`PeerNode`]s over the `mqp-net` discrete-event simulator. Every
+//! experiment (EXPERIMENTS.md) runs through this.
+//!
+//! The harness owns no protocol logic — parsing, forwarding, acking,
+//! retrying, and completing all live in [`PeerNode`] (DESIGN.md §8).
+//! What remains here is pure driving:
+//!
+//! * move encoded wire frames through [`SimNet`], charging each the
+//!   logical byte count ([`crate::wire::charge`]);
+//! * turn [`Effect::SetTimer`] into [`SimNet::schedule`]d ticks;
+//! * short-circuit [`Effect::Ack`] — in the simulator, delivery *is*
+//!   the acknowledgement, exactly as the pre-sans-IO harness disarmed
+//!   watches the instant a tracked forward arrived;
+//! * on [`Effect::Complete`], collect the outcome (deduplicated by
+//!   query id) and broadcast `mark_done`, reproducing the legacy
+//!   global pending/in-flight maps: a completed query can never re-arm
+//!   retries anywhere, and at most one watch per query is live at a
+//!   time (arming a watch cancels the previous holder's).
+//!
+//! The omniscient parts (free acks, global cancellation) are
+//! deliberately *driver* behavior: they model an idealized transport
+//! under which the golden traces were recorded, and stay
+//! byte-identical across the sans-IO refactor. The threaded cluster
+//! (`crate::cluster`) drives the identical nodes with none of that
+//! omniscience — acks are real frames and completion knowledge stays
+//! local.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use mqp_catalog::{CatalogEntry, ServerId};
-use mqp_core::{Action, Mqp, Outcome, VisitRecord};
-use mqp_namespace::InterestArea;
+use mqp_core::{QueryId, QueryOutcome};
 use mqp_net::{FaultPlan, NodeId, SimNet, Topology};
-use mqp_xml::Element;
 
+use crate::node::{Directory, Effect, PeerNode};
 use crate::peer::Peer;
+use crate::wire::{self, Frame};
 
-/// Messages between peers.
-#[derive(Debug, Clone)]
-pub enum PeerMsg {
-    /// A serialized MQP envelope in flight.
-    Mqp(String),
-    /// A completed result returning to the query's client.
-    Result {
-        /// Query id.
-        qid: u64,
-        /// Serialized result items.
-        items: String,
-    },
-    /// Catalog registration (a base/index server announcing itself,
-    /// §3.2/§3.3).
-    Register(CatalogEntry),
-    /// A local retry timer (never on the wire; scheduled through
-    /// [`SimNet::schedule`] at the forwarding node).
-    Timeout {
-        /// Query whose forward is being watched.
-        qid: u64,
-        /// Token matching the forward attempt; stale tokens are
-        /// ignored.
-        token: u64,
-    },
-}
+pub use crate::node::RetryPolicy;
 
-impl PeerMsg {
-    /// Bytes charged to the network for this message.
-    pub fn wire_bytes(&self) -> usize {
-        match self {
-            PeerMsg::Mqp(s) => s.len(),
-            PeerMsg::Result { items, .. } => items.len() + 32,
-            PeerMsg::Register(e) => {
-                // Server id + encoded area + level/flags.
-                e.server.as_str().len() + mqp_namespace::urn::encode_area(&e.area).len() + 16
-            }
-            // Timers are local events, never charged to the network.
-            PeerMsg::Timeout { .. } => 0,
-        }
-    }
-}
-
-/// Timeout/retry knobs for in-flight MQP and result hops. With a policy
-/// installed, every forward with a known query id arms a timer at the
-/// sending node; if neither the next hop nor the client makes progress
-/// before it fires, the sender re-routes around the presumed-dead hop
-/// (recording the detour in provenance, DESIGN.md invariant 7) and
-/// retries, up to `max_retries` times.
-///
-/// The watch lives at the sending peer: if *that* peer crashes while
-/// its only copy is in flight, the timer dies with it and the query
-/// strands (DESIGN.md §6, liveness caveat).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// How long a forward may stay unacknowledged (µs).
-    pub timeout_us: u64,
-    /// Retries per forward before the query is failed.
-    pub max_retries: u32,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            // Comfortably above the widest-area round trip the built-in
-            // topologies produce, including jitter.
-            timeout_us: 500_000,
-            max_retries: 3,
-        }
-    }
-}
-
-/// One unacknowledged forward (MQP or result hop).
-struct InFlight {
-    token: u64,
-    from: NodeId,
-    to: NodeId,
-    msg: PeerMsg,
-    attempts: u32,
-}
-
-/// Per-query accounting.
-#[derive(Debug, Clone, Default)]
-pub struct QueryStats {
-    /// Node that submitted the query.
-    pub client: NodeId,
-    /// Simulated submission time (µs).
-    pub submitted_at: u64,
-    /// MQP hops so far (server-to-server forwards, including the final
-    /// result delivery).
-    pub hops: u64,
-    /// Total MQP bytes shipped.
-    pub mqp_bytes: u64,
-    /// The interest area of the query's first interest-area URN, if
-    /// any (used for cache learning).
-    pub area: Option<InterestArea>,
-    /// The index/meta server that bound the query's URN — what §3.4's
-    /// route caches remember (filled at completion from provenance).
-    pub bound_by: Option<ServerId>,
-    /// Timeout-driven retries this query needed.
-    pub retries: u64,
-    /// Provenance audit at completion: `Some(true)` when every source
-    /// in the original plan is accounted for (§5.1); `None` when the
-    /// query failed before the audit could run.
-    pub audit_clean: Option<bool>,
-}
-
-/// Final outcome of one query.
-#[derive(Debug, Clone)]
-pub struct QueryOutcome {
-    /// Query id (from [`SimHarness::submit`]).
-    pub qid: u64,
-    /// Result items (empty when stuck).
-    pub items: Vec<Element>,
-    /// `None` on success; the reason when the query got stuck.
-    pub failure: Option<String>,
-    /// Completion time minus submission time (µs).
-    pub latency_us: u64,
-    /// MQP hops.
-    pub hops: u64,
-    /// Total MQP bytes shipped for this query.
-    pub mqp_bytes: u64,
-    /// Timeout-driven retries (detours) this query needed.
-    pub retries: u64,
-    /// §5.1 provenance audit of the completed envelope: `Some(true)`
-    /// when every original source was bound/resolved/evaluated by some
-    /// visited server — retry detours included (invariant 7).
-    pub audit_clean: Option<bool>,
+/// What travels through the simulated network: encoded wire frames,
+/// plus local retry-timer ticks (never on the wire; scheduled through
+/// [`SimNet::schedule`] at the watching node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimMsg {
+    /// An encoded wire frame (see [`crate::wire`]).
+    Wire(Vec<u8>),
+    /// A local timer tick: the receiving node runs
+    /// [`PeerNode::on_tick`].
+    Tick,
 }
 
 /// A population of peers on a simulated network.
 pub struct SimHarness {
     /// The network (exposed for failure injection and stats).
-    pub net: SimNet<PeerMsg>,
-    peers: Vec<Peer>,
-    index_of: HashMap<ServerId, NodeId>,
-    pending: HashMap<u64, QueryStats>,
+    pub net: SimNet<SimMsg>,
+    nodes: Vec<PeerNode>,
+    directory: Arc<Directory>,
+    pending: HashSet<QueryId>,
     completed: Vec<QueryOutcome>,
     next_qid: u64,
     /// When true, a completed query teaches the client's route cache
@@ -156,9 +66,9 @@ pub struct SimHarness {
     /// Timeout/retry policy; `None` (the default) preserves the
     /// fire-and-forget behavior where a lost MQP strands its query.
     pub retry: Option<RetryPolicy>,
-    /// Unacknowledged forwards by query id.
-    inflight: HashMap<u64, InFlight>,
-    next_token: u64,
+    /// Which node holds the (single) live watch per query — the legacy
+    /// semantics the golden traces were recorded under.
+    watch_holder: HashMap<QueryId, NodeId>,
 }
 
 impl SimHarness {
@@ -169,22 +79,24 @@ impl SimHarness {
             peers.len(),
             "topology size must match peer count"
         );
-        let index_of = peers
-            .iter()
+        let directory = Arc::new(Directory::new(
+            peers.iter().map(|p| p.id().clone()).collect(),
+        ));
+        let nodes = peers
+            .into_iter()
             .enumerate()
-            .map(|(i, p)| (p.id().clone(), i))
+            .map(|(i, p)| PeerNode::new(i, p, Arc::clone(&directory)))
             .collect();
         SimHarness {
             net: SimNet::new(topology),
-            peers,
-            index_of,
-            pending: HashMap::new(),
+            nodes,
+            directory,
+            pending: HashSet::new(),
             completed: Vec::new(),
             next_qid: 0,
             cache_learning: false,
             retry: None,
-            inflight: HashMap::new(),
-            next_token: 0,
+            watch_holder: HashMap::new(),
         }
     }
 
@@ -203,35 +115,51 @@ impl SimHarness {
 
     /// Node id of a peer.
     pub fn node_of(&self, id: &ServerId) -> Option<NodeId> {
-        self.index_of.get(id).copied()
+        self.directory.node_of(id)
     }
 
     /// Peer by node id.
     pub fn peer(&self, node: NodeId) -> &Peer {
-        &self.peers[node]
+        self.nodes[node].peer()
     }
 
     /// Mutable peer by node id.
     pub fn peer_mut(&mut self, node: NodeId) -> &mut Peer {
-        &mut self.peers[node]
+        self.nodes[node].peer_mut()
+    }
+
+    /// Protocol node by node id (driver-level access for tests and
+    /// custom hosts).
+    pub fn node(&self, node: NodeId) -> &PeerNode {
+        &self.nodes[node]
     }
 
     /// Number of peers.
     pub fn len(&self) -> usize {
-        self.peers.len()
+        self.nodes.len()
     }
 
     /// True when the harness has no peers.
     pub fn is_empty(&self) -> bool {
-        self.peers.is_empty()
+        self.nodes.is_empty()
+    }
+
+    /// Pushes the public `retry`/`cache_learning` knobs into every
+    /// node. Cheap; called at each submit/run so tests can flip the
+    /// fields between calls, as they always could.
+    fn sync_config(&mut self) {
+        for n in &mut self.nodes {
+            n.set_retry(self.retry);
+            n.set_cache_learning(self.cache_learning);
+        }
     }
 
     /// Sends a registration message (counted as network traffic); the
     /// receiving peer adds the entry to its catalog on delivery.
     pub fn send_registration(&mut self, from: NodeId, to: NodeId, entry: CatalogEntry) {
-        let msg = PeerMsg::Register(entry);
-        let bytes = msg.wire_bytes();
-        self.net.send(from, to, bytes, msg);
+        let bytes = Frame::Register(entry).encode();
+        let charge = wire::charge(&bytes);
+        self.net.send(from, to, charge, SimMsg::Wire(bytes));
     }
 
     /// §3.3's complementary *pull* process: `index` asks every peer in
@@ -240,7 +168,7 @@ impl SimHarness {
     pub fn pull_registrations(&mut self, index: NodeId, from: &[NodeId]) -> usize {
         let mut pulled = 0;
         for &node in from {
-            let entry = self.peers[node].base_entry();
+            let entry = self.nodes[node].peer().base_entry();
             if entry.area.is_empty() {
                 continue;
             }
@@ -248,7 +176,8 @@ impl SimHarness {
             // announces it indexes the base server's area (so the base
             // peer learns a route), and the base server replies with
             // its entry.
-            let intro = CatalogEntry::index(self.peers[index].id().clone(), entry.area.clone());
+            let intro =
+                CatalogEntry::index(self.nodes[index].peer().id().clone(), entry.area.clone());
             self.send_registration(index, node, intro);
             self.send_registration(node, index, entry);
             pulled += 1;
@@ -259,42 +188,21 @@ impl SimHarness {
     /// Submits a query plan at `client`. If the plan is not already
     /// wrapped in `Display`, it is wrapped with a target addressing the
     /// client. Returns the query id.
-    pub fn submit(&mut self, client: NodeId, plan: mqp_algebra::plan::Plan) -> u64 {
-        let qid = self.next_qid;
+    pub fn submit(&mut self, client: NodeId, plan: mqp_algebra::plan::Plan) -> QueryId {
+        self.sync_config();
+        let qid = QueryId::new(self.next_qid);
         self.next_qid += 1;
-        let target = format!("{}#{}", self.peers[client].id(), qid);
-        let plan = match plan {
-            mqp_algebra::plan::Plan::Display { input, .. } => {
-                mqp_algebra::plan::Plan::display(target, *input)
-            }
-            other => mqp_algebra::plan::Plan::display(target, other),
-        };
-        // Track the query's interest area for cache learning.
-        let area = plan.urns().iter().find_map(|u| u.urn.as_area().cloned());
-        let mqp = Mqp::new(plan);
-        let wire = mqp.to_wire();
-        let bytes = wire.len();
-        self.pending.insert(
-            qid,
-            QueryStats {
-                client,
-                submitted_at: self.net.now(),
-                hops: 0,
-                mqp_bytes: bytes as u64,
-                area,
-                bound_by: None,
-                retries: 0,
-                audit_clean: None,
-            },
-        );
-        // Self-delivery starts processing at the client peer itself.
-        self.net.send(client, client, bytes, PeerMsg::Mqp(wire));
+        self.pending.insert(qid);
+        let now = self.net.now();
+        let effects = self.nodes[client].submit(qid, plan, now);
+        self.apply(client, effects);
         qid
     }
 
     /// Runs the network until quiescent (or `max_deliveries`). Returns
     /// the number of deliveries handled.
     pub fn run(&mut self, max_deliveries: usize) -> usize {
+        self.sync_config();
         let mut handled = 0;
         while handled < max_deliveries {
             let Some(delivery) = self.net.step() else {
@@ -302,281 +210,61 @@ impl SimHarness {
             };
             handled += 1;
             let at = delivery.at;
-            match delivery.payload {
-                PeerMsg::Register(entry) => {
-                    self.peers[delivery.to].catalog_mut().register(entry);
-                }
-                PeerMsg::Result { qid, items } => {
-                    self.finish_result(qid, &items, at);
-                }
-                PeerMsg::Mqp(wire) => {
-                    self.handle_mqp(delivery.to, &wire, at);
-                }
-                PeerMsg::Timeout { qid, token } => {
-                    self.handle_timeout(qid, token, at);
-                }
-            }
+            let to = delivery.to;
+            let effects = match delivery.payload {
+                SimMsg::Wire(bytes) => self.nodes[to].on_message(delivery.from, &bytes, at),
+                SimMsg::Tick => self.nodes[to].on_tick(at),
+            };
+            self.apply(to, effects);
         }
         handled
     }
 
-    /// Sends `msg` and, when a retry policy is active and the query id
-    /// refers to a still-pending query, arms a timeout timer at the
-    /// sending node. (Completed queries — e.g. a duplicate delivery
-    /// re-completing at a server — send untracked, so they can never
-    /// re-arm retries.)
-    fn send_tracked(
-        &mut self,
-        qid: Option<u64>,
-        from: NodeId,
-        to: NodeId,
-        msg: PeerMsg,
-        attempts: u32,
-    ) {
-        let bytes = msg.wire_bytes();
-        let qid = qid.filter(|q| self.pending.contains_key(q));
-        if let (Some(policy), Some(qid)) = (self.retry, qid) {
-            let token = self.next_token;
-            self.next_token += 1;
-            self.inflight.insert(
-                qid,
-                InFlight {
-                    token,
-                    from,
-                    to,
-                    msg: msg.clone(),
-                    attempts,
-                },
-            );
-            self.net
-                .schedule(from, policy.timeout_us, PeerMsg::Timeout { qid, token });
-        }
-        self.net.send(from, to, bytes, msg);
-    }
-
-    /// A retry timer fired: if the watched forward is still
-    /// unacknowledged, re-route around the presumed-dead next hop and
-    /// retry, or fail the query once the retry budget is spent.
-    fn handle_timeout(&mut self, qid: u64, token: u64, at: u64) {
-        let Some(policy) = self.retry else { return };
-        if self.inflight.get(&qid).map(|f| f.token) != Some(token) {
-            return; // acknowledged or superseded; stale timer
-        }
-        if !self.pending.contains_key(&qid) {
-            // The query already completed through another path; drop
-            // the leftover watch instead of resending phantom traffic.
-            self.inflight.remove(&qid);
-            return;
-        }
-        let entry = self.inflight.remove(&qid).expect("checked above");
-        if entry.attempts >= policy.max_retries {
-            let dead = self.peers[entry.to].id().clone();
-            self.complete(
-                qid,
-                Vec::new(),
-                Some(format!(
-                    "gave up after {} retries; last hop {dead} unresponsive",
-                    entry.attempts
-                )),
-                at,
-            );
-            return;
-        }
-        self.net.stats_mut().retries += 1;
-        if let Some(stats) = self.pending.get_mut(&qid) {
-            stats.retries += 1;
-        }
-        match entry.msg {
-            PeerMsg::Mqp(wire) => {
-                let mut mqp = Mqp::from_wire(&wire).expect("tracked envelope reparses");
-                let sender = &self.peers[entry.from];
-                let dead = self.peers[entry.to].id().clone();
-                // §4.2 fallback: drop Or-alternatives that require the
-                // dead server (when others survive), then re-route.
-                let pruned = mqp_core::rewrite::prune_server_alternatives(mqp.plan_mut(), &dead);
-                // The detour is provenance-visible (invariant 7).
-                mqp.record(VisitRecord {
-                    server: sender.id().clone(),
-                    action: Action::Retried,
-                    detail: if pruned > 0 {
-                        format!(
-                            "timeout waiting on {dead}; pruned {pruned} alternative(s), rerouting"
-                        )
-                    } else {
-                        format!("timeout waiting on {dead}; rerouting")
-                    },
-                    at,
-                    staleness: 0,
-                });
-                // Re-resolution: route again, excluding the dead hop —
-                // the catalog's remaining alternatives take over. With
-                // no alternative, resend to the same hop (it may be
-                // mid-churn and rejoin).
-                let next = sender
-                    .route_excluding(mqp.plan(), &mqp.visited(), &dead)
-                    .and_then(|s| self.index_of.get(&s).copied())
-                    .unwrap_or(entry.to);
-                let wire = mqp.to_wire();
-                if let Some(stats) = self.pending.get_mut(&qid) {
-                    stats.mqp_bytes += wire.len() as u64;
+    /// Executes a node's effects, in order (the send/schedule sequence
+    /// determines event seq numbers and fault draws, so order is part
+    /// of the determinism contract).
+    fn apply(&mut self, node: NodeId, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, bytes } => {
+                    let charge = wire::charge(&bytes);
+                    self.net.send(node, to, charge, SimMsg::Wire(bytes));
                 }
-                self.send_tracked(
-                    Some(qid),
-                    entry.from,
-                    next,
-                    PeerMsg::Mqp(wire),
-                    entry.attempts + 1,
-                );
-            }
-            // A result hop has a fixed destination (the client): resend
-            // as-is.
-            msg @ PeerMsg::Result { .. } => {
-                self.send_tracked(Some(qid), entry.from, entry.to, msg, entry.attempts + 1);
-            }
-            _ => {}
-        }
-    }
-
-    fn handle_mqp(&mut self, node: NodeId, wire: &str, at: u64) {
-        let mut mqp = match Mqp::from_wire(wire) {
-            Ok(m) => m,
-            Err(e) => {
-                // A malformed envelope is a protocol bug; surface loudly.
-                panic!("malformed MQP envelope delivered to node {node}: {e}");
-            }
-        };
-        let qid = mqp
-            .plan()
-            .target()
-            .and_then(|t| t.rsplit_once('#'))
-            .and_then(|(_, q)| q.parse::<u64>().ok());
-        // The forward arrived: disarm its retry timer.
-        if let Some(q) = qid {
-            if self.inflight.get(&q).is_some_and(|f| f.to == node) {
-                self.inflight.remove(&q);
-            }
-        }
-        let peer = &self.peers[node];
-        peer.set_clock(at);
-        let outcome = peer.process(&mut mqp);
-        match outcome {
-            Outcome::Complete { target, items } => {
-                // §3.4 cache learning: remember the server that *bound*
-                // the URN (an index/meta server that knows the area),
-                // not whoever happened to finish the reduction.
-                let binder = mqp
-                    .provenance()
-                    .iter()
-                    .find(|v| v.action == mqp_core::Action::Bound)
-                    .map(|v| v.server.clone());
-                if let Some(qid) = qid {
-                    if let Some(stats) = self.pending.get_mut(&qid) {
-                        stats.bound_by = binder;
-                        // §5.1 audit at the completing server: every
-                        // source of the original plan must be accounted
-                        // for by some visit — detours included.
-                        stats.audit_clean = mqp.original().map(|orig| {
-                            mqp_core::unaccounted_sources(orig, mqp.provenance()).is_empty()
-                        });
-                    }
-                }
-                let (client_node, _) = match target.as_deref().and_then(|t| t.rsplit_once('#')) {
-                    Some((client, _)) => {
-                        let cid = ServerId::new(client);
-                        (self.index_of.get(&cid).copied(), ())
-                    }
-                    None => (None, ()),
-                };
-                let items_xml: String = items.iter().map(mqp_xml::serialize).collect::<String>();
-                match (client_node, qid) {
-                    (Some(client), Some(qid)) => {
-                        let msg = PeerMsg::Result {
-                            qid,
-                            items: items_xml,
-                        };
-                        if let Some(stats) = self.pending.get_mut(&qid) {
-                            stats.hops += 1;
-                        }
-                        self.send_tracked(Some(qid), node, client, msg, 0);
-                    }
-                    _ => {
-                        // No routable target: record completion in place.
-                        if let Some(qid) = qid {
-                            self.complete(qid, items, None, at);
+                Effect::SetTimer { qid, at } => {
+                    // Legacy single-watch semantics: arming anywhere
+                    // cancels the previous holder's watch.
+                    if let Some(&holder) = self.watch_holder.get(&qid) {
+                        if holder != node {
+                            self.nodes[holder].cancel_watch(qid);
                         }
                     }
+                    self.watch_holder.insert(qid, node);
+                    let delay = at.saturating_sub(self.net.now());
+                    self.net.schedule(node, delay, SimMsg::Tick);
                 }
-            }
-            Outcome::Forward { to } => {
-                let Some(&next) = self.index_of.get(&to) else {
-                    if let Some(qid) = qid {
-                        self.complete(
-                            qid,
-                            Vec::new(),
-                            Some(format!("route to unknown server {to}")),
-                            at,
-                        );
-                    }
-                    return;
-                };
-                let wire = mqp.to_wire();
-                let bytes = wire.len();
-                if let Some(qid) = qid {
-                    if let Some(stats) = self.pending.get_mut(&qid) {
-                        stats.hops += 1;
-                        stats.mqp_bytes += bytes as u64;
-                    }
+                Effect::Ack { to, qid } => {
+                    // Delivery is the ack in the simulator: apply it
+                    // directly, free of charge.
+                    self.nodes[to].on_ack(node, qid);
                 }
-                self.send_tracked(qid, node, next, PeerMsg::Mqp(wire), 0);
-            }
-            Outcome::Stuck { reason } => {
-                if let Some(qid) = qid {
-                    self.complete(qid, Vec::new(), Some(reason), at);
+                Effect::Retried { .. } => {
+                    self.net.stats_mut().retries += 1;
+                }
+                Effect::Register(_) => {}
+                Effect::Complete(outcome) => {
+                    let qid = outcome.qid;
+                    self.watch_holder.remove(&qid);
+                    // Completion is global knowledge here: no node may
+                    // keep (or re-arm) a watch for a finished query.
+                    for n in &mut self.nodes {
+                        n.mark_done(qid);
+                    }
+                    if self.pending.remove(&qid) {
+                        self.completed.push(outcome);
+                    }
                 }
             }
         }
-    }
-
-    fn finish_result(&mut self, qid: u64, items_xml: &str, at: u64) {
-        // Reparse the concatenated items.
-        let wrapped = format!("<results>{items_xml}</results>");
-        let items: Vec<Element> = mqp_xml::parse(&wrapped)
-            .map(|r| r.child_elements().cloned().collect())
-            .unwrap_or_default();
-        self.complete(qid, items, None, at);
-    }
-
-    fn complete(&mut self, qid: u64, items: Vec<Element>, failure: Option<String>, at: u64) {
-        // Disarm any watch first, even for an already-completed qid —
-        // a duplicate completion must not leave a timer that would
-        // resend traffic for a finished query.
-        self.inflight.remove(&qid);
-        let Some(stats) = self.pending.remove(&qid) else {
-            return;
-        };
-        if self.cache_learning && failure.is_none() {
-            // §3.4: "peers maintain caches of index and meta-index
-            // servers for interest areas" — the client learns which
-            // server completed its query for this area and will route
-            // straight there next time.
-            if let (Some(area), Some(by)) = (&stats.area, &stats.bound_by) {
-                if self.peers[stats.client].id() != by {
-                    self.peers[stats.client]
-                        .catalog_mut()
-                        .record_route(area, by.clone());
-                }
-            }
-        }
-        self.completed.push(QueryOutcome {
-            qid,
-            items,
-            failure,
-            latency_us: at.saturating_sub(stats.submitted_at),
-            hops: stats.hops,
-            mqp_bytes: stats.mqp_bytes,
-            retries: stats.retries,
-            audit_clean: stats.audit_clean,
-        });
     }
 
     /// Completed queries so far.
@@ -599,7 +287,7 @@ impl SimHarness {
 mod tests {
     use super::*;
     use mqp_algebra::plan::Plan;
-    use mqp_namespace::{Hierarchy, Namespace, Urn};
+    use mqp_namespace::{Hierarchy, InterestArea, Namespace, Urn};
     use mqp_xml::parse;
 
     fn ns() -> Namespace {

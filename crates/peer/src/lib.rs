@@ -1,13 +1,23 @@
-//! # mqp-peer — a peer node and the simulation harness
+//! # mqp-peer — the peer protocol core and its two drivers
 //!
-//! Ties the pieces together: a [`Peer`] owns a local data store, a
-//! catalog, a namespace copy (for its category-server role), and a
-//! mutant-query `Processor`; it implements `ServerContext` so the
-//! processor can bind, reduce, and route plans against this peer's
-//! knowledge. The [`SimHarness`] runs a population of peers over the
-//! `mqp-net` discrete-event simulator, moving serialized MQP envelopes
-//! between them and accounting every byte — the substrate for every
-//! experiment in EXPERIMENTS.md.
+//! Ties the pieces together in three layers (DESIGN.md §8):
+//!
+//! * [`Peer`] — one peer's knowledge: a local data store, a catalog, a
+//!   namespace copy (for its category-server role), and a mutant-query
+//!   `Processor`; it implements `ServerContext` so the processor can
+//!   bind, reduce, and route plans against this peer's knowledge.
+//! * [`PeerNode`] — the **sans-IO protocol core**: one `Peer` plus its
+//!   per-query protocol state (retry watches, ack bookkeeping,
+//!   registration handling, client-side route-cache learning), exposed
+//!   as a pure event machine — `on_message`/`on_tick`/`submit` return
+//!   [`Effect`]s for a host to execute. No sockets, no channels, no
+//!   clocks.
+//! * The drivers: [`SimHarness`] feeds `PeerNode`s from the `mqp-net`
+//!   discrete-event simulator (deterministic; the substrate for every
+//!   experiment in EXPERIMENTS.md), and [`ThreadedCluster`] drives the
+//!   identical nodes over `mqp_net::threaded` endpoints on real OS
+//!   threads, with an [`MqpClient`] front-end supporting many
+//!   concurrent in-flight queries.
 //!
 //! Peer roles (§3.2) are configuration, not types: a peer with local
 //! collections is a *base server*; one with catalog entries it answers
@@ -16,10 +26,16 @@
 //! may do all four — "this query's client may well become the next
 //! query's server" (§1).
 
+pub mod cluster;
 pub mod harness;
+pub mod node;
 pub mod peer;
 pub mod store;
+pub mod wire;
 
-pub use harness::{PeerMsg, QueryOutcome, QueryStats, RetryPolicy, SimHarness};
+pub use cluster::{ClusterStats, MqpClient, ThreadedCluster};
+pub use harness::{SimHarness, SimMsg};
+pub use mqp_core::{QueryId, QueryOutcome};
+pub use node::{Directory, Effect, PeerNode, RetryPolicy};
 pub use peer::Peer;
 pub use store::{Collection, LocalStore};

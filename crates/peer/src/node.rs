@@ -1,0 +1,842 @@
+//! The sans-IO protocol core: one [`PeerNode`] per participating peer,
+//! driving the full MQP peer protocol — envelope processing, catalog
+//! registration, result delivery, ack bookkeeping, and timeout/retry —
+//! as a pure event machine. A node never touches a socket, a channel,
+//! or a clock: hosts feed it events ([`PeerNode::on_message`],
+//! [`PeerNode::on_tick`], [`PeerNode::submit`]) and execute the
+//! [`Effect`]s it returns.
+//!
+//! Two drivers exist (DESIGN.md §8): the deterministic simulator
+//! ([`SimHarness`](crate::harness::SimHarness)) and the real-thread
+//! [`ThreadedCluster`](crate::cluster::ThreadedCluster). Both run this
+//! exact state machine; they differ only in how they move bytes and
+//! how much transport-level omniscience they inject (the simulator
+//! short-circuits [`Effect::Ack`] because delivery *is* the ack there,
+//! and globally cancels watches on completion to reproduce the legacy
+//! single-watch-per-query semantics byte-for-byte).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use mqp_algebra::plan::Plan;
+use mqp_catalog::{CatalogEntry, ServerId};
+use mqp_core::{Action, Mqp, Outcome, QueryId, QueryOutcome, VisitRecord};
+use mqp_namespace::InterestArea;
+use mqp_net::NodeId;
+use mqp_xml::Element;
+
+use crate::peer::Peer;
+use crate::wire::{Frame, Meter, MqpFrame, ResultFrame};
+
+/// Timeout/retry knobs for in-flight MQP and result hops. With a policy
+/// installed, every forward with a known query id arms a watch at the
+/// sending node; if no acknowledgement arrives before the deadline, the
+/// sender re-routes around the presumed-dead hop (recording the detour
+/// in provenance, DESIGN.md invariant 7) and retries, up to
+/// `max_retries` times.
+///
+/// The watch lives at the sending peer: if *that* peer crashes while
+/// its only copy is in flight, the timer dies with it and the query
+/// strands (DESIGN.md §6, liveness caveat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long a forward may stay unacknowledged (µs).
+    pub timeout_us: u64,
+    /// Retries per forward before the query is failed.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            // Comfortably above the widest-area round trip the built-in
+            // topologies produce, including jitter.
+            timeout_us: 500_000,
+            max_retries: 3,
+        }
+    }
+}
+
+/// Maps peer names to transport addresses. This is addressing
+/// configuration (who sits where), not distributed state: both drivers
+/// build it once at startup, exactly as a deployment would distribute a
+/// membership list.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    ids: Vec<ServerId>,
+    index: HashMap<ServerId, NodeId>,
+}
+
+impl Directory {
+    /// Builds the directory; peer `i` sits at node `i`.
+    pub fn new(ids: Vec<ServerId>) -> Self {
+        let index = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), i))
+            .collect();
+        Directory { ids, index }
+    }
+
+    /// Transport address of a peer.
+    pub fn node_of(&self, id: &ServerId) -> Option<NodeId> {
+        self.index.get(id).copied()
+    }
+
+    /// Peer name at an address.
+    pub fn id_of(&self, node: NodeId) -> &ServerId {
+        &self.ids[node]
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// What a [`PeerNode`] asks its host to do. Effects are returned in
+/// execution order; drivers must apply them in order (the simulator's
+/// determinism depends on it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Ship `bytes` to node `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The encoded wire frame (see [`crate::wire`]).
+        bytes: Vec<u8>,
+    },
+    /// A query reached a terminal state at this node. Drivers route the
+    /// outcome to the submitting front-end (and deduplicate by query
+    /// id: under duplication faults more than one peer can complete the
+    /// same query).
+    Complete(QueryOutcome),
+    /// Call [`PeerNode::on_tick`] at (or after) `at`; the node armed a
+    /// retry watch for `qid` expiring then.
+    SetTimer {
+        /// The watched query.
+        qid: QueryId,
+        /// Absolute deadline on the driving clock (µs).
+        at: u64,
+    },
+    /// This node accepted a catalog registration (observability only —
+    /// the entry is already applied to the node's own catalog).
+    Register(CatalogEntry),
+    /// Acknowledge to node `to` that its tracked forward of `qid` was
+    /// received here. The simulator applies this directly
+    /// ([`PeerNode::on_ack`]) at zero cost; the threaded cluster ships
+    /// it as a real `ack` frame.
+    Ack {
+        /// The original sender being acknowledged.
+        to: NodeId,
+        /// The acknowledged query.
+        qid: QueryId,
+    },
+    /// A timeout-driven retry happened (transport-level observability:
+    /// the simulator counts it in `NetStats::retries`).
+    Retried {
+        /// The retried query.
+        qid: QueryId,
+    },
+}
+
+/// One armed retry watch: an unacknowledged forward (MQP or result
+/// hop), with the frame to resend.
+#[derive(Debug, Clone)]
+struct Watch {
+    qid: QueryId,
+    deadline: u64,
+    to: NodeId,
+    attempts: u32,
+    frame: Frame,
+}
+
+/// Client-side state for a query this node submitted.
+#[derive(Debug, Clone)]
+struct ClientQuery {
+    /// The interest area of the query's first interest-area URN, if
+    /// any (what §3.4 cache learning keys on).
+    area: Option<InterestArea>,
+}
+
+/// A peer participating in the MQP protocol: one [`Peer`] (store +
+/// catalog + processor) plus the per-query protocol state the old
+/// monolithic harness kept centrally — pending retries, registration
+/// handling, ack bookkeeping, and client-side route-cache learning.
+pub struct PeerNode {
+    node: NodeId,
+    peer: Peer,
+    directory: Arc<Directory>,
+    retry: Option<RetryPolicy>,
+    cache_learning: bool,
+    /// Armed watches in arming order (re-arming moves to the back,
+    /// mirroring a fresh timer). At most a handful per node.
+    watches: Vec<Watch>,
+    /// Queries this node submitted and has not yet seen complete.
+    client: HashMap<QueryId, ClientQuery>,
+    /// Queries known to have completed: sends for them go untracked so
+    /// a duplicate re-completion can never re-arm retries.
+    done: HashSet<QueryId>,
+}
+
+impl PeerNode {
+    /// Wraps a peer as a protocol node at transport address `node`.
+    pub fn new(node: NodeId, peer: Peer, directory: Arc<Directory>) -> Self {
+        PeerNode {
+            node,
+            peer,
+            directory,
+            retry: None,
+            cache_learning: false,
+            watches: Vec::new(),
+            client: HashMap::new(),
+            done: HashSet::new(),
+        }
+    }
+
+    /// This node's transport address.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The wrapped peer.
+    pub fn peer(&self) -> &Peer {
+        &self.peer
+    }
+
+    /// The wrapped peer, mutably (world setup, catalog seeding).
+    pub fn peer_mut(&mut self) -> &mut Peer {
+        &mut self.peer
+    }
+
+    /// The directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Installs (or clears) the timeout/retry policy.
+    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// Enables §3.4 route-cache learning for queries this node submits.
+    pub fn set_cache_learning(&mut self, on: bool) {
+        self.cache_learning = on;
+    }
+
+    /// Earliest armed watch deadline, if any — hosts without a
+    /// scheduled-timer transport (the threaded worker loop) use this to
+    /// bound their receive timeout.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.watches.iter().map(|w| w.deadline).min()
+    }
+
+    /// Submits a query plan at this node: wraps it in a `Display`
+    /// targeting this peer (`<id>#<qid>`), records client-side state,
+    /// and emits the initial self-delivery (processing starts at the
+    /// submitting peer itself, which is also how the paper's "this
+    /// query's client may well become the next query's server" reads).
+    pub fn submit(&mut self, qid: QueryId, plan: Plan, now: u64) -> Vec<Effect> {
+        let target = format!("{}#{}", self.peer.id(), qid);
+        let plan = match plan {
+            Plan::Display { input, .. } => Plan::display(target, *input),
+            other => Plan::display(target, other),
+        };
+        // Track the query's interest area for cache learning.
+        let area = plan.urns().iter().find_map(|u| u.urn.as_area().cloned());
+        self.client.insert(qid, ClientQuery { area });
+        let mqp = Mqp::new(plan);
+        let wire = mqp.to_wire();
+        let frame = Frame::Mqp(MqpFrame {
+            qid: Some(qid),
+            meter: Meter {
+                submitted_at: now,
+                hops: 0,
+                mqp_bytes: wire.len() as u64,
+                retries: 0,
+            },
+            envelope: wire,
+        });
+        // The initial self-delivery is deliberately untracked: there is
+        // no previous hop to retry from.
+        vec![Effect::Send {
+            to: self.node,
+            bytes: frame.encode(),
+        }]
+    }
+
+    /// A wire frame arrived from `from`. Returns the effects to apply,
+    /// in order.
+    pub fn on_message(&mut self, from: NodeId, bytes: &[u8], now: u64) -> Vec<Effect> {
+        let frame = match Frame::decode(bytes) {
+            Ok(f) => f,
+            Err(e) => {
+                // A malformed frame is a protocol bug; surface loudly.
+                panic!("malformed frame delivered to node {}: {e}", self.node);
+            }
+        };
+        match frame {
+            Frame::Register(entry) => {
+                self.peer.catalog_mut().register(entry.clone());
+                vec![Effect::Register(entry)]
+            }
+            Frame::Ack { qid } => {
+                self.on_ack(from, qid);
+                Vec::new()
+            }
+            Frame::Submit { qid, plan } => {
+                let mqp = Mqp::from_wire(&plan)
+                    .unwrap_or_else(|e| panic!("malformed submitted plan: {e:?}"));
+                self.submit(qid, mqp.plan().clone(), now)
+            }
+            // Stop is host-level; a node receiving one does nothing.
+            Frame::Stop => Vec::new(),
+            Frame::Result(rf) => self.handle_result(from, rf, now),
+            Frame::Mqp(mf) => self.handle_mqp(from, mf, now),
+        }
+    }
+
+    /// Node `acker` confirmed receipt of this node's tracked forward of
+    /// `qid`: disarm the watch if it was indeed aimed at `acker`.
+    pub fn on_ack(&mut self, acker: NodeId, qid: QueryId) {
+        self.watches.retain(|w| !(w.qid == qid && w.to == acker));
+    }
+
+    /// Drops any watch for `qid` without marking the query done. The
+    /// simulator driver uses this to reproduce the legacy
+    /// single-watch-per-query semantics: arming a watch anywhere
+    /// cancels the previous holder's.
+    pub fn cancel_watch(&mut self, qid: QueryId) {
+        self.watches.retain(|w| w.qid != qid);
+    }
+
+    /// Records that `qid` reached a terminal state somewhere: drops any
+    /// watch and suppresses future retry tracking for it (a duplicate
+    /// re-completion must not re-arm retries or resend phantom
+    /// traffic).
+    pub fn mark_done(&mut self, qid: QueryId) {
+        self.cancel_watch(qid);
+        self.client.remove(&qid);
+        self.done.insert(qid);
+    }
+
+    /// The driving clock passed `now`: fire every expired watch, in
+    /// arming order. Ticks with nothing expired are no-ops.
+    pub fn on_tick(&mut self, now: u64) -> Vec<Effect> {
+        let Some(policy) = self.retry else {
+            return Vec::new();
+        };
+        let mut effects = Vec::new();
+        let mut i = 0;
+        while i < self.watches.len() {
+            if self.watches[i].deadline > now {
+                i += 1;
+                continue;
+            }
+            let w = self.watches.remove(i);
+            if self.done.contains(&w.qid) {
+                // The query already completed through another path;
+                // drop the leftover watch instead of resending phantom
+                // traffic.
+                continue;
+            }
+            if w.attempts >= policy.max_retries {
+                let dead = self.directory.id_of(w.to).clone();
+                effects.push(Effect::Complete(mk_outcome(
+                    w.qid,
+                    frame_meter(&w.frame),
+                    now,
+                    Vec::new(),
+                    Some(format!(
+                        "gave up after {} retries; last hop {dead} unresponsive",
+                        w.attempts
+                    )),
+                    frame_audit(&w.frame),
+                )));
+                continue;
+            }
+            effects.push(Effect::Retried { qid: w.qid });
+            match w.frame {
+                Frame::Mqp(mut mf) => {
+                    let mut mqp = Mqp::from_wire(&mf.envelope).expect("tracked envelope reparses");
+                    let dead = self.directory.id_of(w.to).clone();
+                    // §4.2 fallback: drop Or-alternatives that require
+                    // the dead server (when others survive), then
+                    // re-route.
+                    let pruned =
+                        mqp_core::rewrite::prune_server_alternatives(mqp.plan_mut(), &dead);
+                    // The detour is provenance-visible (invariant 7).
+                    mqp.record(VisitRecord {
+                        server: self.peer.id().clone(),
+                        action: Action::Retried,
+                        detail: if pruned > 0 {
+                            format!(
+                                "timeout waiting on {dead}; pruned {pruned} alternative(s), rerouting"
+                            )
+                        } else {
+                            format!("timeout waiting on {dead}; rerouting")
+                        },
+                        at: now,
+                        staleness: 0,
+                    });
+                    // Re-resolution: route again, excluding the dead
+                    // hop — the catalog's remaining alternatives take
+                    // over. With no alternative, resend to the same hop
+                    // (it may be mid-churn and rejoin).
+                    let next = self
+                        .peer
+                        .route_excluding(mqp.plan(), &mqp.visited(), &dead)
+                        .and_then(|s| self.directory.node_of(&s))
+                        .unwrap_or(w.to);
+                    let wire = mqp.to_wire();
+                    mf.meter.mqp_bytes += wire.len() as u64;
+                    mf.meter.retries += 1;
+                    mf.envelope = wire;
+                    self.tracked_send(
+                        Some(w.qid),
+                        next,
+                        Frame::Mqp(mf),
+                        w.attempts + 1,
+                        now,
+                        &mut effects,
+                    );
+                }
+                // A result hop has a fixed destination (the client):
+                // resend as-is.
+                Frame::Result(mut rf) => {
+                    rf.meter.retries += 1;
+                    self.tracked_send(
+                        Some(w.qid),
+                        w.to,
+                        Frame::Result(rf),
+                        w.attempts + 1,
+                        now,
+                        &mut effects,
+                    );
+                }
+                _ => {}
+            }
+        }
+        effects
+    }
+
+    /// Sends `frame` and, when a retry policy is active and the query
+    /// is not known to be finished, arms a watch at this node.
+    fn tracked_send(
+        &mut self,
+        qid: Option<QueryId>,
+        to: NodeId,
+        frame: Frame,
+        attempts: u32,
+        now: u64,
+        effects: &mut Vec<Effect>,
+    ) {
+        let bytes = frame.encode();
+        let qid = qid.filter(|q| !self.done.contains(q));
+        if let (Some(policy), Some(qid)) = (self.retry, qid) {
+            let deadline = now + policy.timeout_us;
+            // Re-arming replaces the previous watch for this query.
+            self.cancel_watch(qid);
+            self.watches.push(Watch {
+                qid,
+                deadline,
+                to,
+                attempts,
+                frame,
+            });
+            effects.push(Effect::SetTimer { qid, at: deadline });
+        }
+        effects.push(Effect::Send { to, bytes });
+    }
+
+    fn handle_result(&mut self, from: NodeId, rf: ResultFrame, now: u64) -> Vec<Effect> {
+        let mut effects = vec![Effect::Ack {
+            to: from,
+            qid: rf.qid,
+        }];
+        // §3.4 cache learning, applied once — when the first result for
+        // a query this node submitted arrives.
+        if let Some(cq) = self.client.remove(&rf.qid) {
+            if self.cache_learning {
+                if let (Some(area), Some(by)) = (&cq.area, &rf.bound_by) {
+                    if self.peer.id() != by {
+                        self.peer.catalog_mut().record_route(area, by.clone());
+                    }
+                }
+            }
+        }
+        // Reparse the concatenated items.
+        let wrapped = format!("<results>{}</results>", rf.items);
+        let items: Vec<Element> = mqp_xml::parse(&wrapped)
+            .map(|r| r.child_elements().cloned().collect())
+            .unwrap_or_default();
+        effects.push(Effect::Complete(mk_outcome(
+            rf.qid,
+            rf.meter,
+            now,
+            items,
+            None,
+            rf.audit_clean,
+        )));
+        effects
+    }
+
+    fn handle_mqp(&mut self, from: NodeId, mf: MqpFrame, now: u64) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        // The forward arrived: acknowledge so the sender disarms.
+        if let Some(qid) = mf.qid {
+            effects.push(Effect::Ack { to: from, qid });
+        }
+        let mut mqp = match Mqp::from_wire(&mf.envelope) {
+            Ok(m) => m,
+            Err(e) => {
+                // A malformed envelope is a protocol bug; surface loudly.
+                panic!(
+                    "malformed MQP envelope delivered to node {}: {e:?}",
+                    self.node
+                );
+            }
+        };
+        self.peer.set_clock(now);
+        let outcome = self.peer.process(&mut mqp);
+        match outcome {
+            Outcome::Complete { target, items } => {
+                // §3.4 cache learning: remember the server that *bound*
+                // the URN (an index/meta server that knows the area),
+                // not whoever happened to finish the reduction.
+                let bound_by = mqp
+                    .provenance()
+                    .iter()
+                    .find(|v| v.action == Action::Bound)
+                    .map(|v| v.server.clone());
+                // §5.1 audit at the completing server: every source of
+                // the original plan must be accounted for by some visit
+                // — detours included.
+                let audit_clean = mqp
+                    .original()
+                    .map(|orig| mqp_core::unaccounted_sources(orig, mqp.provenance()).is_empty());
+                let client_node = target
+                    .as_deref()
+                    .and_then(|t| t.rsplit_once('#'))
+                    .and_then(|(client, _)| self.directory.node_of(&ServerId::new(client)));
+                let items_xml: String = items.iter().map(mqp_xml::serialize).collect();
+                match (client_node, mf.qid) {
+                    (Some(client), Some(qid)) => {
+                        let mut meter = mf.meter;
+                        meter.hops += 1;
+                        self.tracked_send(
+                            Some(qid),
+                            client,
+                            Frame::Result(ResultFrame {
+                                qid,
+                                meter,
+                                audit_clean,
+                                bound_by,
+                                items: items_xml,
+                            }),
+                            0,
+                            now,
+                            &mut effects,
+                        );
+                    }
+                    (_, qid) => {
+                        // No routable target: record completion in
+                        // place.
+                        if let Some(qid) = qid {
+                            effects.push(Effect::Complete(mk_outcome(
+                                qid,
+                                mf.meter,
+                                now,
+                                items,
+                                None,
+                                audit_clean,
+                            )));
+                        }
+                    }
+                }
+            }
+            Outcome::Forward { to } => {
+                let Some(next) = self.directory.node_of(&to) else {
+                    if let Some(qid) = mf.qid {
+                        effects.push(Effect::Complete(mk_outcome(
+                            qid,
+                            mf.meter,
+                            now,
+                            Vec::new(),
+                            Some(format!("route to unknown server {to}")),
+                            None,
+                        )));
+                    }
+                    return effects;
+                };
+                let wire = mqp.to_wire();
+                let mut meter = mf.meter;
+                meter.hops += 1;
+                meter.mqp_bytes += wire.len() as u64;
+                self.tracked_send(
+                    mf.qid,
+                    next,
+                    Frame::Mqp(MqpFrame {
+                        qid: mf.qid,
+                        meter,
+                        envelope: wire,
+                    }),
+                    0,
+                    now,
+                    &mut effects,
+                );
+            }
+            Outcome::Stuck { reason } => {
+                if let Some(qid) = mf.qid {
+                    effects.push(Effect::Complete(mk_outcome(
+                        qid,
+                        mf.meter,
+                        now,
+                        Vec::new(),
+                        Some(reason),
+                        None,
+                    )));
+                }
+            }
+        }
+        effects
+    }
+}
+
+/// The one place a travelling [`Meter`] becomes a [`QueryOutcome`]:
+/// latency is measured from the meter's submission stamp, and the
+/// carried counters are reported as-is.
+fn mk_outcome(
+    qid: QueryId,
+    meter: Meter,
+    now: u64,
+    items: Vec<Element>,
+    failure: Option<String>,
+    audit_clean: Option<bool>,
+) -> QueryOutcome {
+    QueryOutcome {
+        qid,
+        items,
+        failure,
+        latency_us: now.saturating_sub(meter.submitted_at),
+        hops: meter.hops,
+        mqp_bytes: meter.mqp_bytes,
+        retries: meter.retries,
+        audit_clean,
+    }
+}
+
+fn frame_meter(frame: &Frame) -> Meter {
+    match frame {
+        Frame::Mqp(f) => f.meter,
+        Frame::Result(f) => f.meter,
+        _ => Meter::default(),
+    }
+}
+
+fn frame_audit(frame: &Frame) -> Option<bool> {
+    match frame {
+        // A failed result hop still carries the completing server's
+        // audit verdict.
+        Frame::Result(f) => f.audit_clean,
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqp_namespace::{Hierarchy, Namespace, Urn};
+    use mqp_xml::parse;
+
+    fn ns() -> Namespace {
+        Namespace::new([
+            Hierarchy::new("Location").with(["USA/OR/Portland"]),
+            Hierarchy::new("Merchandise").with(["Music/CDs"]),
+        ])
+    }
+
+    fn pdx_cds() -> InterestArea {
+        InterestArea::parse(&[&["USA/OR/Portland", "Music/CDs"]])
+    }
+
+    fn directory(ids: &[&str]) -> Arc<Directory> {
+        Arc::new(Directory::new(
+            ids.iter().map(|s| ServerId::new(*s)).collect(),
+        ))
+    }
+
+    fn seller_node(node: NodeId, dir: &Arc<Directory>) -> PeerNode {
+        let mut p = Peer::new(dir.id_of(node).as_str(), ns());
+        p.add_collection(
+            "cds",
+            pdx_cds(),
+            [parse("<item><title>A</title><price>8</price></item>").unwrap()],
+        );
+        PeerNode::new(node, p, Arc::clone(dir))
+    }
+
+    /// A submit at a data-holding peer completes locally: the node
+    /// self-sends the envelope, processes it, and sends itself the
+    /// result, which becomes a `Complete` effect.
+    #[test]
+    fn submit_process_complete_locally() {
+        let dir = directory(&["solo"]);
+        let mut n = seller_node(0, &dir);
+        let qid = QueryId::new(0);
+        let plan = Plan::select(
+            "price < 10",
+            Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds()))),
+        );
+        let fx = n.submit(qid, plan, 100);
+        let [Effect::Send { to, bytes }] = &fx[..] else {
+            panic!("expected one Send, got {fx:?}");
+        };
+        assert_eq!(*to, 0);
+        let fx = n.on_message(0, bytes, 100);
+        // Ack to self (harmless) + result self-send.
+        let send = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send { to, bytes } => Some((*to, bytes.clone())),
+                _ => None,
+            })
+            .expect("result send");
+        assert_eq!(send.0, 0);
+        let fx = n.on_message(0, &send.1, 250);
+        let done = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Complete(o) => Some(o.clone()),
+                _ => None,
+            })
+            .expect("complete");
+        assert_eq!(done.qid, qid);
+        assert!(done.failure.is_none());
+        assert_eq!(done.items.len(), 1);
+        assert_eq!(done.latency_us, 150);
+        assert_eq!(done.hops, 1);
+    }
+
+    /// Tracked forwards arm a watch; the ack from the receiver disarms
+    /// it; an unacked forward retries on tick and eventually fails.
+    #[test]
+    fn watch_arms_retries_and_exhausts() {
+        let dir = directory(&["a", "b"]);
+        let mut a = seller_node(0, &dir);
+        a.set_retry(Some(RetryPolicy {
+            timeout_us: 1_000,
+            max_retries: 1,
+        }));
+        let qid = QueryId::new(3);
+        let mut fx = Vec::new();
+        a.tracked_send(
+            Some(qid),
+            1,
+            Frame::Mqp(MqpFrame {
+                qid: Some(qid),
+                meter: Meter {
+                    submitted_at: 0,
+                    hops: 1,
+                    mqp_bytes: 10,
+                    retries: 0,
+                },
+                envelope: Mqp::new(Plan::display("a#3", Plan::url("mqp://b/"))).to_wire(),
+            }),
+            0,
+            0,
+            &mut fx,
+        );
+        assert!(matches!(fx[0], Effect::SetTimer { at: 1_000, .. }));
+        assert_eq!(a.next_deadline(), Some(1_000));
+        // Nothing expired yet.
+        assert!(a.on_tick(500).is_empty());
+        // First expiry: a retry (re-sent, re-armed).
+        let fx = a.on_tick(1_000);
+        assert!(fx.iter().any(|e| matches!(e, Effect::Retried { .. })));
+        assert!(fx.iter().any(|e| matches!(e, Effect::Send { to: 1, .. })));
+        assert_eq!(a.next_deadline(), Some(2_000));
+        // Second expiry: budget spent, explicit failure.
+        let fx = a.on_tick(2_000);
+        let done = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Complete(o) => Some(o.clone()),
+                _ => None,
+            })
+            .expect("failure outcome");
+        assert_eq!(done.qid, qid);
+        assert!(done.failure.as_deref().unwrap().contains("retries"));
+        assert_eq!(done.retries, 1);
+        assert_eq!(a.next_deadline(), None);
+    }
+
+    /// An ack from the watched hop disarms; an ack from anyone else
+    /// does not.
+    #[test]
+    fn ack_bookkeeping_is_hop_precise() {
+        let dir = directory(&["a", "b", "c"]);
+        let mut a = seller_node(0, &dir);
+        a.set_retry(Some(RetryPolicy::default()));
+        let qid = QueryId::new(1);
+        let mut fx = Vec::new();
+        a.tracked_send(
+            Some(qid),
+            1,
+            Frame::Mqp(MqpFrame {
+                qid: Some(qid),
+                meter: Meter::default(),
+                envelope: Mqp::new(Plan::display("a#1", Plan::url("mqp://b/"))).to_wire(),
+            }),
+            0,
+            0,
+            &mut fx,
+        );
+        a.on_ack(2, qid); // wrong hop: still armed
+        assert!(a.next_deadline().is_some());
+        a.on_ack(1, qid); // the watched hop: disarmed
+        assert!(a.next_deadline().is_none());
+    }
+
+    /// `mark_done` suppresses both the watch and future tracking.
+    #[test]
+    fn done_queries_send_untracked() {
+        let dir = directory(&["a", "b"]);
+        let mut a = seller_node(0, &dir);
+        a.set_retry(Some(RetryPolicy::default()));
+        let qid = QueryId::new(9);
+        a.mark_done(qid);
+        let mut fx = Vec::new();
+        a.tracked_send(
+            Some(qid),
+            1,
+            Frame::Mqp(MqpFrame {
+                qid: Some(qid),
+                meter: Meter::default(),
+                envelope: Mqp::new(Plan::display("a#9", Plan::url("mqp://b/"))).to_wire(),
+            }),
+            0,
+            0,
+            &mut fx,
+        );
+        // Send happens (duplicate traffic is real), but no timer.
+        assert_eq!(fx.len(), 1);
+        assert!(matches!(fx[0], Effect::Send { .. }));
+    }
+
+    /// Registration frames apply to the catalog and surface as effects.
+    #[test]
+    fn registration_applies_and_reports() {
+        let dir = directory(&["a", "b"]);
+        let mut a = PeerNode::new(0, Peer::new("a", ns()), Arc::clone(&dir));
+        let entry = CatalogEntry::base("b", pdx_cds());
+        let fx = a.on_message(1, &Frame::Register(entry.clone()).encode(), 5);
+        assert_eq!(fx, vec![Effect::Register(entry.clone())]);
+        assert_eq!(a.peer().catalog().entries().len(), 1);
+    }
+}

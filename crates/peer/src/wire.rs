@@ -1,0 +1,425 @@
+//! The peer-to-peer wire frame: what actually travels between
+//! [`PeerNode`](crate::node::PeerNode)s, on any transport.
+//!
+//! A frame is one header line (kind + per-query meter) followed by the
+//! payload bytes — the serialized MQP envelope for `mqp`, the
+//! concatenated result items for `res`, the catalog entry for `reg`.
+//! Every frame is plain UTF-8 so any peer can parse it without
+//! pre-shared binary schemas, matching the MQP envelope itself.
+//!
+//! Two byte counts exist per frame and they are deliberately distinct:
+//!
+//! * [`Envelope::bytes`](mqp_net::threaded::Envelope::bytes) — the real
+//!   size, `payload.len()` of the whole frame. The threaded cluster
+//!   accounts this.
+//! * [`charge`] — the *logical* size the deterministic simulator bills
+//!   to the network: the MQP XML length for `mqp` frames, the item
+//!   bytes plus a fixed result-envelope overhead for `res`, and the
+//!   server-id + encoded-area + fixed overhead for `reg`. These are the
+//!   exact formulas the pre-sans-IO harness charged, which is what
+//!   keeps the golden traces byte-identical across the refactor.
+
+use mqp_catalog::{CatalogEntry, Level, ServerId};
+use mqp_core::QueryId;
+use mqp_namespace::urn::{decode_area, encode_area};
+
+/// Per-query counters that ride every `mqp`/`res` frame, so any peer —
+/// not just the client — can account for the query it is holding. This
+/// is the sans-IO replacement for the old harness's central
+/// `QueryStats` map: the paper's claim that peers need no distributed
+/// state extends to bookkeeping, which travels with the plan.
+///
+/// One deliberate semantic consequence: under duplication faults each
+/// copy of an envelope carries its *own* meter, so a completed query
+/// reports the bytes/hops/retries of the copy that finished it — not
+/// the sum over every duplicate's wanderings the old central map
+/// accumulated. Network-level totals (`NetStats`) still count every
+/// copy; only the per-query attribution narrowed. No golden trace
+/// observes per-query counters under duplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Meter {
+    /// Submission time at the client (µs on the driving clock).
+    pub submitted_at: u64,
+    /// MQP hops so far (server-to-server forwards, including the final
+    /// result delivery).
+    pub hops: u64,
+    /// Total MQP bytes shipped so far.
+    pub mqp_bytes: u64,
+    /// Timeout-driven retries so far.
+    pub retries: u64,
+}
+
+/// A travelling MQP envelope plus its meter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MqpFrame {
+    /// Query id; `None` for envelopes injected outside a front-end.
+    pub qid: Option<QueryId>,
+    /// Per-query counters.
+    pub meter: Meter,
+    /// The serialized MQP envelope (`Mqp::to_wire`).
+    pub envelope: String,
+}
+
+/// A completed result returning to the query's client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultFrame {
+    /// Query id.
+    pub qid: QueryId,
+    /// Per-query counters (the result hop already counted).
+    pub meter: Meter,
+    /// §5.1 audit verdict computed at the completing server.
+    pub audit_clean: Option<bool>,
+    /// The index/meta server that bound the query's URN (§3.4 cache
+    /// learning), if any.
+    pub bound_by: Option<ServerId>,
+    /// Serialized result items, concatenated.
+    pub items: String,
+}
+
+/// One wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A travelling MQP envelope.
+    Mqp(MqpFrame),
+    /// A completed result returning to the client.
+    Result(ResultFrame),
+    /// Catalog registration (a base/index server announcing itself,
+    /// §3.2/§3.3).
+    Register(CatalogEntry),
+    /// Delivery acknowledgement for the watched forward of `qid`. The
+    /// simulator driver short-circuits these (delivery *is* the ack
+    /// there); the threaded cluster ships them for real.
+    Ack {
+        /// The acknowledged query.
+        qid: QueryId,
+    },
+    /// Front-end control: submit the enclosed plan envelope at the
+    /// receiving peer under `qid`. Never used by the simulator (whose
+    /// driver calls `PeerNode::submit` directly).
+    Submit {
+        /// Query id allocated by the front-end.
+        qid: QueryId,
+        /// `Mqp::to_wire` of a bare (untargeted) plan.
+        plan: String,
+    },
+    /// Front-end control: stop the receiving worker thread.
+    Stop,
+}
+
+fn opt_qid(t: &str) -> Result<Option<QueryId>, String> {
+    if t == "-" {
+        Ok(None)
+    } else {
+        t.parse::<u64>()
+            .map(|q| Some(QueryId::new(q)))
+            .map_err(|e| format!("bad qid {t:?}: {e}"))
+    }
+}
+
+fn num(t: &str) -> Result<u64, String> {
+    t.parse::<u64>()
+        .map_err(|e| format!("bad number {t:?}: {e}"))
+}
+
+fn fmt_qid(q: Option<QueryId>) -> String {
+    q.map(|q| q.to_string()).unwrap_or_else(|| "-".to_owned())
+}
+
+impl Meter {
+    fn encode(&self) -> String {
+        format!(
+            "{} {} {} {}",
+            self.submitted_at, self.hops, self.mqp_bytes, self.retries
+        )
+    }
+
+    fn decode(tokens: &[&str]) -> Result<Meter, String> {
+        if tokens.len() < 4 {
+            return Err("truncated meter".to_owned());
+        }
+        Ok(Meter {
+            submitted_at: num(tokens[0])?,
+            hops: num(tokens[1])?,
+            mqp_bytes: num(tokens[2])?,
+            retries: num(tokens[3])?,
+        })
+    }
+}
+
+impl Frame {
+    /// Serializes the frame: one header line, then the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let out = match self {
+            Frame::Mqp(f) => {
+                format!(
+                    "mqp {} {}\n{}",
+                    fmt_qid(f.qid),
+                    f.meter.encode(),
+                    f.envelope
+                )
+            }
+            Frame::Result(f) => {
+                let audit = match f.audit_clean {
+                    Some(true) => "1",
+                    Some(false) => "0",
+                    None => "-",
+                };
+                let bound = f.bound_by.as_ref().map(|s| s.as_str()).unwrap_or("-");
+                debug_assert!(
+                    !bound.contains('\n') && f.bound_by.as_ref().map(|s| s.as_str()) != Some("-"),
+                    "bound_by must be single-line and not the '-' sentinel"
+                );
+                format!(
+                    "res {} {} {audit} {bound}\n{}",
+                    f.qid,
+                    f.meter.encode(),
+                    f.items
+                )
+            }
+            Frame::Register(e) => {
+                let collection = e.collection.as_deref().unwrap_or("");
+                debug_assert!(
+                    !e.server.as_str().contains('\n') && !collection.contains('\n'),
+                    "registration fields must be single-line"
+                );
+                format!(
+                    "reg {} {} {}\n{}\n{}\n{collection}",
+                    e.level.name(),
+                    u8::from(e.authoritative),
+                    u8::from(e.collection.is_some()),
+                    e.server.as_str(),
+                    encode_area(&e.area),
+                )
+            }
+            Frame::Ack { qid } => format!("ack {qid}\n"),
+            Frame::Submit { qid, plan } => format!("sub {qid}\n{plan}"),
+            Frame::Stop => "stop\n".to_owned(),
+        };
+        out.into_bytes()
+    }
+
+    /// Parses a frame. Errors are protocol bugs — hosts treat them the
+    /// way the old harness treated a malformed MQP envelope (panic).
+    pub fn decode(bytes: &[u8]) -> Result<Frame, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+        let (header, payload) = text
+            .split_once('\n')
+            .ok_or_else(|| "frame missing header line".to_owned())?;
+        let tokens: Vec<&str> = header.split(' ').collect();
+        match tokens[0] {
+            "mqp" => {
+                if tokens.len() < 6 {
+                    return Err(format!("truncated mqp header {header:?}"));
+                }
+                Ok(Frame::Mqp(MqpFrame {
+                    qid: opt_qid(tokens[1])?,
+                    meter: Meter::decode(&tokens[2..6])?,
+                    envelope: payload.to_owned(),
+                }))
+            }
+            "res" => {
+                if tokens.len() < 8 {
+                    return Err(format!("truncated res header {header:?}"));
+                }
+                let qid = opt_qid(tokens[1])?.ok_or("result frame requires a qid")?;
+                let audit_clean = match tokens[6] {
+                    "1" => Some(true),
+                    "0" => Some(false),
+                    "-" => None,
+                    other => return Err(format!("bad audit flag {other:?}")),
+                };
+                // `bound_by` is the rest of the header line: server ids
+                // are free-form, so they go last and may contain spaces.
+                let bound = header.splitn(8, ' ').nth(7).unwrap_or("-");
+                let bound_by = if bound == "-" {
+                    None
+                } else {
+                    Some(ServerId::new(bound))
+                };
+                Ok(Frame::Result(ResultFrame {
+                    qid,
+                    meter: Meter::decode(&tokens[2..6])?,
+                    audit_clean,
+                    bound_by,
+                    items: payload.to_owned(),
+                }))
+            }
+            "reg" => {
+                if tokens.len() < 4 {
+                    return Err(format!("truncated reg header {header:?}"));
+                }
+                let level =
+                    Level::parse(tokens[1]).ok_or_else(|| format!("bad level {:?}", tokens[1]))?;
+                let authoritative = tokens[2] == "1";
+                let has_collection = tokens[3] == "1";
+                let mut lines = payload.splitn(3, '\n');
+                let server = lines.next().ok_or("reg missing server line")?;
+                let area_spec = lines.next().ok_or("reg missing area line")?;
+                let collection = lines.next().unwrap_or("");
+                Ok(Frame::Register(CatalogEntry {
+                    server: ServerId::new(server),
+                    level,
+                    area: decode_area(area_spec).map_err(|e| format!("bad area: {e:?}"))?,
+                    collection: has_collection.then(|| collection.to_owned()),
+                    authoritative,
+                }))
+            }
+            "ack" => {
+                if tokens.len() < 2 {
+                    return Err(format!("truncated ack header {header:?}"));
+                }
+                let qid = opt_qid(tokens[1])?.ok_or("ack frame requires a qid")?;
+                Ok(Frame::Ack { qid })
+            }
+            "sub" => {
+                if tokens.len() < 2 {
+                    return Err(format!("truncated sub header {header:?}"));
+                }
+                let qid = opt_qid(tokens[1])?.ok_or("submit frame requires a qid")?;
+                Ok(Frame::Submit {
+                    qid,
+                    plan: payload.to_owned(),
+                })
+            }
+            "stop" => Ok(Frame::Stop),
+            other => Err(format!("unknown frame kind {other:?}")),
+        }
+    }
+
+    /// The frame kind tag, without a full decode.
+    pub fn kind(bytes: &[u8]) -> &str {
+        let end = bytes
+            .iter()
+            .position(|&b| b == b' ' || b == b'\n')
+            .unwrap_or(bytes.len());
+        std::str::from_utf8(&bytes[..end]).unwrap_or("")
+    }
+}
+
+/// The logical byte count the simulator charges for a frame — the
+/// exact pre-sans-IO `PeerMsg::wire_bytes` formulas (see module docs).
+/// Control frames (`ack`, `sub`, `stop`) never cross the simulated
+/// network and charge nothing.
+pub fn charge(bytes: &[u8]) -> usize {
+    let Some(header_end) = bytes.iter().position(|&b| b == b'\n') else {
+        return 0;
+    };
+    let payload = &bytes[header_end + 1..];
+    match Frame::kind(bytes) {
+        "mqp" => payload.len(),
+        "res" => payload.len() + 32,
+        "reg" => {
+            // server-id line + encoded-area line + level/flags overhead.
+            let mut lines = payload.split(|&b| b == b'\n');
+            let server = lines.next().map(<[u8]>::len).unwrap_or(0);
+            let area = lines.next().map(<[u8]>::len).unwrap_or(0);
+            server + area + 16
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqp_namespace::InterestArea;
+
+    fn area() -> InterestArea {
+        InterestArea::parse(&[&["USA/OR/Portland", "Music/CDs"]])
+    }
+
+    #[test]
+    fn mqp_frame_roundtrips_and_charges_envelope_len() {
+        let f = Frame::Mqp(MqpFrame {
+            qid: Some(QueryId::new(7)),
+            meter: Meter {
+                submitted_at: 10,
+                hops: 3,
+                mqp_bytes: 999,
+                retries: 1,
+            },
+            envelope: "<mqp><plan/></mqp>".to_owned(),
+        });
+        let bytes = f.encode();
+        assert_eq!(Frame::kind(&bytes), "mqp");
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+        assert_eq!(charge(&bytes), "<mqp><plan/></mqp>".len());
+    }
+
+    #[test]
+    fn anonymous_mqp_frame_roundtrips() {
+        let f = Frame::Mqp(MqpFrame {
+            qid: None,
+            meter: Meter::default(),
+            envelope: "<mqp/>".to_owned(),
+        });
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn result_frame_roundtrips_and_charges_items_plus_32() {
+        for (audit, bound) in [
+            (Some(true), Some(ServerId::new("idx-1"))),
+            (Some(false), None),
+            (None, Some(ServerId::new("meta 0"))), // spaces survive
+        ] {
+            let f = Frame::Result(ResultFrame {
+                qid: QueryId::new(3),
+                meter: Meter {
+                    submitted_at: 5,
+                    hops: 4,
+                    mqp_bytes: 100,
+                    retries: 0,
+                },
+                audit_clean: audit,
+                bound_by: bound,
+                items: "<item/><item/>".to_owned(),
+            });
+            let bytes = f.encode();
+            assert_eq!(Frame::decode(&bytes).unwrap(), f);
+            assert_eq!(charge(&bytes), "<item/><item/>".len() + 32);
+        }
+    }
+
+    #[test]
+    fn register_frame_roundtrips_and_matches_legacy_charge() {
+        for entry in [
+            CatalogEntry::base("seller-1", area()),
+            CatalogEntry::index("idx", area()).authoritative(),
+            CatalogEntry::base("s", area()).with_collection("/data[@id='245']"),
+            CatalogEntry::meta_index("m", InterestArea::parse(&[&["*", "*"]])),
+        ] {
+            let f = Frame::Register(entry.clone());
+            let bytes = f.encode();
+            assert_eq!(Frame::decode(&bytes).unwrap(), f);
+            let legacy = entry.server.as_str().len() + encode_area(&entry.area).len() + 16;
+            assert_eq!(charge(&bytes), legacy, "entry {entry:?}");
+        }
+    }
+
+    #[test]
+    fn control_frames_roundtrip_and_charge_zero() {
+        for f in [
+            Frame::Ack {
+                qid: QueryId::new(9),
+            },
+            Frame::Submit {
+                qid: QueryId::new(1),
+                plan: "<mqp><plan/></mqp>".to_owned(),
+            },
+            Frame::Stop,
+        ] {
+            let bytes = f.encode();
+            assert_eq!(Frame::decode(&bytes).unwrap(), f);
+            assert_eq!(charge(&bytes), 0);
+        }
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        assert!(Frame::decode(b"").is_err());
+        assert!(Frame::decode(b"nope 1\n").is_err());
+        assert!(Frame::decode(b"mqp x\n").is_err());
+        assert!(Frame::decode(&[0xFF, 0xFE]).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Host equivalence (DESIGN.md §8): the deterministic simulator
+//! (`SimHarness`) and the real-thread cluster (`ThreadedCluster`) drive
+//! the *identical* sans-IO `PeerNode` state machine, so for the same
+//! topology, world, and fault-free workload they must produce identical
+//! sets of `QueryOutcome`s — same answers, same hop counts, same §5.1
+//! audit verdicts, same failure reasons. Only latency (virtual vs wall
+//! clock) may differ.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use mqp::algebra::plan::Plan;
+use mqp::core::QueryId;
+use mqp::namespace::{Hierarchy, InterestArea, Namespace, Urn};
+use mqp::net::Topology;
+use mqp::peer::{Peer, SimHarness, ThreadedCluster};
+use mqp::xml::parse;
+
+fn ns() -> Namespace {
+    Namespace::new([
+        Hierarchy::new("Location").with(["USA/OR/Portland", "USA/WA/Seattle"]),
+        Hierarchy::new("Merchandise").with(["Music/CDs", "Furniture/Chairs"]),
+    ])
+}
+
+fn area(loc: &str, cat: &str) -> InterestArea {
+    InterestArea::parse(&[&[loc, cat]])
+}
+
+/// A moderately interesting world: client, meta-index, city index, and
+/// four sellers across two cities and two categories. Built fresh for
+/// each host so neither can leak state into the other.
+fn world() -> Vec<Peer> {
+    let client = Peer::new("client", ns()).with_default_route("meta");
+    let mut meta = Peer::new("meta", ns());
+    let mut idx = Peer::new("idx-pdx", ns());
+    let mut sellers = Vec::new();
+    for (i, (loc, cat, rows)) in [
+        ("USA/OR/Portland", "Music/CDs", vec![("A", 8), ("B", 12)]),
+        ("USA/OR/Portland", "Music/CDs", vec![("C", 9)]),
+        ("USA/WA/Seattle", "Furniture/Chairs", vec![("D", 30)]),
+        (
+            "USA/OR/Portland",
+            "Furniture/Chairs",
+            vec![("E", 4), ("F", 40)],
+        ),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let id = format!("seller-{i}");
+        let mut s = Peer::new(id.clone(), ns());
+        s.add_collection(
+            "stock",
+            area(loc, cat),
+            rows.iter().map(|(t, p)| {
+                parse(&format!(
+                    "<item><title>{t}</title><price>{p}</price></item>"
+                ))
+                .unwrap()
+            }),
+        );
+        // Portland sellers register with the city index; everyone with
+        // the meta server.
+        if loc.contains("Portland") {
+            idx.catalog_mut().register(s.base_entry());
+        }
+        meta.catalog_mut().register(s.base_entry());
+        sellers.push(s);
+    }
+    meta.catalog_mut().register(
+        mqp::catalog::CatalogEntry::index("idx-pdx", area("USA/OR/Portland", "*")).authoritative(),
+    );
+    let mut peers = vec![client, meta, idx];
+    peers.extend(sellers);
+    peers
+}
+
+/// The shared workload: successes across both cities, a multi-seller
+/// area query, a direct-URL query, and one query that gets stuck.
+fn workload() -> Vec<Plan> {
+    vec![
+        Plan::select(
+            "price < 10",
+            Plan::Urn(mqp::algebra::plan::UrnRef::new(Urn::area(area(
+                "USA/OR/Portland",
+                "Music/CDs",
+            )))),
+        ),
+        Plan::Urn(mqp::algebra::plan::UrnRef::new(Urn::area(area(
+            "USA/WA/Seattle",
+            "Furniture/Chairs",
+        )))),
+        Plan::select("price < 50", Plan::url("mqp://seller-3/")),
+        // Nobody holds French cheese: identical stuck reason expected.
+        Plan::Urn(mqp::algebra::plan::UrnRef::new(Urn::area(area(
+            "USA/WA/Seattle",
+            "Music/CDs",
+        )))),
+        Plan::or([Plan::url("mqp://seller-0/"), Plan::url("mqp://seller-1/")]),
+    ]
+}
+
+/// The host-independent fingerprint of an outcome: everything except
+/// latency (virtual vs wall clock) and byte totals (the simulator
+/// charges logical sizes, the cluster real frame sizes).
+type Fingerprint = (Option<String>, Vec<String>, u64, Option<bool>, u64);
+
+fn fingerprint(q: &mqp::core::QueryOutcome) -> Fingerprint {
+    let mut items: Vec<String> = q.items.iter().map(mqp::xml::serialize).collect();
+    items.sort();
+    (q.failure.clone(), items, q.hops, q.audit_clean, q.retries)
+}
+
+#[test]
+fn sim_and_threaded_hosts_agree_on_every_outcome() {
+    // --- simulator run ---
+    let mut sim_outcomes: BTreeMap<QueryId, Fingerprint> = BTreeMap::new();
+    let n = world().len();
+    let mut h = SimHarness::new(Topology::uniform(n, 5_000), world());
+    for plan in workload() {
+        h.submit(0, plan);
+        h.run(100_000);
+    }
+    assert_eq!(h.pending_count(), 0, "simulator stranded a query");
+    for q in h.take_completed() {
+        sim_outcomes.insert(q.qid, fingerprint(&q));
+    }
+
+    // --- threaded run, same world, all queries in flight at once ---
+    let (cluster, mut client) = ThreadedCluster::new(world());
+    let plans = workload();
+    let qids: Vec<QueryId> = plans.iter().map(|p| client.submit(0, p)).collect();
+    let done = client.collect(qids.len(), Duration::from_secs(30));
+    cluster.shutdown(&client);
+    assert_eq!(done.len(), qids.len(), "cluster lost a query");
+    let thr_outcomes: BTreeMap<QueryId, Fingerprint> =
+        done.iter().map(|q| (q.qid, fingerprint(q))).collect();
+
+    // Identical sets: same qids, and per qid the same answer items,
+    // failure reason, hop count, audit verdict, and retry count.
+    assert_eq!(sim_outcomes.len(), thr_outcomes.len());
+    for (qid, sim_fp) in &sim_outcomes {
+        let thr_fp = thr_outcomes
+            .get(qid)
+            .unwrap_or_else(|| panic!("query {qid} missing from threaded run"));
+        assert_eq!(sim_fp, thr_fp, "query {qid} diverged between hosts");
+    }
+
+    // The workload exercised both success and failure paths.
+    assert!(sim_outcomes.values().any(|f| f.0.is_none()));
+    assert!(sim_outcomes.values().any(|f| f.0.is_some()));
+    assert!(sim_outcomes.values().any(|f| f.3 == Some(true)));
+}
+
+/// The two hosts also agree under repetition with many queries in
+/// flight at once on the threaded side — outcome sets are stable
+/// across submission interleavings because fault-free protocol state
+/// is per-query.
+#[test]
+fn threaded_outcomes_are_stable_across_runs() {
+    let run = || {
+        let (cluster, mut client) = ThreadedCluster::new(world());
+        let plans = workload();
+        let qids: Vec<QueryId> = (0..3)
+            .flat_map(|_| {
+                plans
+                    .iter()
+                    .map(|p| client.submit(0, p))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let done = client.collect(qids.len(), Duration::from_secs(30));
+        cluster.shutdown(&client);
+        assert_eq!(done.len(), qids.len());
+        let mut fps: Vec<Fingerprint> = done.iter().map(fingerprint).collect();
+        fps.sort();
+        fps
+    };
+    assert_eq!(run(), run());
+}

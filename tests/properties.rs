@@ -187,6 +187,80 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DESIGN.md §8: the sans-IO `PeerNode` never fabricates traffic,
+    /// and the driver's accounting identity
+    /// `sent = delivered + dropped + lost + in-flight` survives
+    /// *arbitrary interleavings* of `on_message` and `on_tick` — here
+    /// produced by injecting spurious extra ticks at random nodes and
+    /// times into a faulty, retrying run, and checking the identity
+    /// after every single delivery. A tick with nothing expired must
+    /// be a pure no-op, so the extra ticks cannot change what the
+    /// queries themselves do.
+    #[test]
+    fn node_event_interleavings_preserve_accounting(
+        seed in 0u64..=u64::MAX,
+        loss in 0u32..25,
+        dup in 0u32..20,
+        extra_ticks in proptest::collection::vec((0usize..20, 0u64..2_000_000), 0..24),
+    ) {
+        use mqp::net::FaultPlan;
+        use mqp::peer::{RetryPolicy, SimMsg};
+        use mqp::workloads::garage::{build, query_for, GarageConfig};
+
+        let mut w = build(GarageConfig {
+            sellers: 14,
+            items_per_seller: 2,
+            ..GarageConfig::default()
+        });
+        let n = w.harness.len();
+        w.harness.retry = Some(RetryPolicy {
+            timeout_us: 300_000,
+            max_retries: 2,
+        });
+        w.harness.net.set_fault_plan(
+            FaultPlan::new(seed)
+                .with_loss(f64::from(loss) / 100.0)
+                .with_jitter(0.5)
+                .with_duplication(f64::from(dup) / 100.0),
+        );
+        // Spurious ticks: arbitrary nodes, arbitrary times. The nodes
+        // have no watches armed at those instants (or watches with
+        // later deadlines), so `on_tick` must emit nothing.
+        for &(node, at) in &extra_ticks {
+            w.harness.net.schedule(node % n, at, SimMsg::Tick);
+        }
+        let mut submitted = 0usize;
+        for (city, cat) in [
+            ("USA/OR/Portland", "Music/CDs"),
+            ("USA/WA/Seattle", "Furniture/Chairs"),
+            ("France/IDF/Paris", "Books/Paperbacks"),
+        ] {
+            w.harness.submit(w.client, query_for(city, cat, None));
+            submitted += 1;
+            // Step one delivery at a time so the identity is checked at
+            // every instant, not just at quiescence.
+            while w.harness.run(1) == 1 {
+                prop_assert!(
+                    w.harness.net.stats().balances(w.harness.net.in_flight()),
+                    "identity broken mid-run: {:?} with {} in flight",
+                    w.harness.net.stats(),
+                    w.harness.net.in_flight()
+                );
+            }
+        }
+        // Every submission reached a terminal state or stranded — but
+        // nothing was double-counted: completed + pending == submitted.
+        prop_assert_eq!(
+            w.harness.completed().len() + w.harness.pending_count(),
+            submitted
+        );
+        prop_assert_eq!(w.harness.net.in_flight(), 0);
+    }
+}
+
 /// The whole simulation harness is deterministic: identical worlds and
 /// query streams yield identical outcomes, bytes, and clocks.
 #[test]
@@ -207,7 +281,7 @@ fn harness_runs_are_deterministic() {
             w.harness.submit(w.client, q);
             w.harness.run(100_000);
         }
-        let outcomes: Vec<(u64, usize, u64, u64, Option<String>)> = w
+        let outcomes: Vec<(mqp::core::QueryId, usize, u64, u64, Option<String>)> = w
             .harness
             .completed()
             .iter()
