@@ -307,7 +307,7 @@ pub fn plan_from_xml(e: &Element) -> Result<Plan, CodecError> {
             for (k, v) in e.attrs() {
                 meta.set(k.clone(), v.clone());
             }
-            let items: Vec<Element> = e.child_elements().cloned().collect();
+            let items: mqp_xml::Batch = e.child_elements().cloned().collect();
             Ok(Plan::Data { items, meta })
         }
         "url" => {
@@ -543,10 +543,10 @@ impl ItemSink<'_> {
         &mut self,
         tok: &mut mqp_xml::Tokenizer<'_>,
         name: &str,
-        out: &mut Vec<Element>,
+        out: &mut mqp_xml::Batch,
     ) -> Result<(), mqp_xml::NotCanonical> {
         match self {
-            ItemSink::Build(tb) => out.push(tb.build(tok, name)?),
+            ItemSink::Build(tb) => out.push_item(tb.build(tok, name)?),
             ItemSink::Skip => mqp_xml::skip_subtree(tok, name)?,
         }
         Ok(())
@@ -608,7 +608,7 @@ pub fn plan_from_tokens(
             for (k, v) in &attrs {
                 meta.set(*k, v.clone());
             }
-            let mut out = Vec::new();
+            let mut out = mqp_xml::Batch::new();
             if !self_closed {
                 loop {
                     match tok.next_token()?.ok_or(NotCanonical)? {
@@ -971,7 +971,7 @@ mod tests {
         // item text. Normalize both sides before comparing.
         fn normalize(p: &mut Plan) {
             if let Plan::Data { items, .. } = p {
-                for i in items {
+                for i in items.iter_mut() {
                     i.trim_whitespace();
                 }
             }

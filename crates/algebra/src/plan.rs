@@ -6,7 +6,7 @@ use std::fmt;
 
 use mqp_namespace::Urn;
 use mqp_xml::xpath::Path;
-use mqp_xml::Element;
+use mqp_xml::{Batch, Element};
 
 use crate::predicate::{AggFunc, Predicate};
 
@@ -184,10 +184,12 @@ impl OrAlt {
 /// serialization behaves anyway (XML is a tree).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
-    /// Verbatim XML data: a constant collection of items.
+    /// Verbatim XML data: a constant collection of items, held as a
+    /// shared [`Batch`] so substitution, evaluation, and forwarding
+    /// shuffle `Arc` handles instead of deep-copying trees.
     Data {
         /// The items.
-        items: Vec<Element>,
+        items: Batch,
         /// Statistics annotations.
         meta: Annotations,
     },
@@ -259,9 +261,15 @@ impl Plan {
     // Constructors
     // ------------------------------------------------------------------
 
-    /// Constant data leaf.
+    /// Constant data leaf from owned items (wraps each in an `Arc`).
     pub fn data(items: impl IntoIterator<Item = Element>) -> Plan {
-        let items: Vec<Element> = items.into_iter().collect();
+        Plan::data_shared(items.into_iter().collect())
+    }
+
+    /// Constant data leaf from an already-shared batch — the clone-free
+    /// path the reduce step uses to feed evaluation results straight
+    /// back into the plan.
+    pub fn data_shared(items: Batch) -> Plan {
         let mut meta = Annotations::new();
         meta.set_cardinality(items.len() as u64);
         Plan::Data { items, meta }
@@ -496,7 +504,7 @@ impl Plan {
     }
 
     /// The constant items, if this node is a `Data` leaf.
-    pub fn as_data(&self) -> Option<&[Element]> {
+    pub fn as_data(&self) -> Option<&Batch> {
         match self {
             Plan::Data { items, .. } => Some(items),
             _ => None,

@@ -51,13 +51,35 @@ impl Predicate {
     pub fn eval(&self, item: &Element) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::Cmp { path, op, value } => path
-                .select_values(item)
-                .iter()
-                .any(|v| op.apply(v.trim(), value)),
+            Predicate::Cmp { path, op, value } => {
+                path.any_value(item, &mut |v| op.apply(v.trim(), value))
+            }
             Predicate::And(ps) => ps.iter().all(|p| p.eval(item)),
             Predicate::Or(ps) => ps.iter().any(|p| p.eval(item)),
             Predicate::Not(p) => !p.eval(item),
+        }
+    }
+
+    /// One-time compile pass: pre-parses each comparison literal so the
+    /// per-item test skips the literal re-parse [`Op::apply`] would do,
+    /// and shares the (already interned-name) paths. Compiling is cheap
+    /// — a handful of nodes per predicate — and the result is reused
+    /// across every item of a batch, and across hops via the per-peer
+    /// compile cache.
+    pub fn compile(&self) -> CompiledPredicate {
+        match self {
+            Predicate::True => CompiledPredicate::True,
+            Predicate::Cmp { path, op, value } => CompiledPredicate::Cmp {
+                path: path.clone(),
+                op: *op,
+                value: value.clone(),
+                num: value.trim().parse::<f64>().ok(),
+            },
+            Predicate::And(ps) => {
+                CompiledPredicate::And(ps.iter().map(Predicate::compile).collect())
+            }
+            Predicate::Or(ps) => CompiledPredicate::Or(ps.iter().map(Predicate::compile).collect()),
+            Predicate::Not(p) => CompiledPredicate::Not(Box::new(p.compile())),
         }
     }
 
@@ -107,6 +129,63 @@ impl FromStr for Predicate {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         Predicate::parse(s)
+    }
+}
+
+/// The compiled form of a [`Predicate`] (see [`Predicate::compile`]):
+/// interned-name path matchers plus pre-parsed numeric literals. Built
+/// once per plan, applied per item with no allocation — value
+/// extraction goes through [`Path::any_value`], which borrows
+/// single-text fields instead of collecting a `Vec<String>`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledPredicate {
+    /// Always true (scan).
+    True,
+    /// `path op literal` with the literal's numeric parse memoized.
+    Cmp {
+        /// Field path, relative to the item element.
+        path: Path,
+        /// Comparison operator.
+        op: Op,
+        /// Literal right-hand side (string form, for the lexicographic
+        /// arm).
+        value: String,
+        /// `value.trim().parse::<f64>()`, computed once at compile time.
+        num: Option<f64>,
+    },
+    /// Conjunction.
+    And(Vec<CompiledPredicate>),
+    /// Disjunction.
+    Or(Vec<CompiledPredicate>),
+    /// Negation.
+    Not(Box<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    /// Evaluates against one item; behaviorally identical to
+    /// [`Predicate::eval`] on the source predicate (property-tested in
+    /// `mqp-engine`).
+    pub fn eval(&self, item: &Element) -> bool {
+        match self {
+            CompiledPredicate::True => true,
+            CompiledPredicate::Cmp {
+                path,
+                op,
+                value,
+                num,
+            } => path.any_value(item, &mut |v| {
+                let t = v.trim();
+                // Numeric iff both sides parse (Op::apply's rule), with
+                // the literal side already parsed.
+                match (num, t.parse::<f64>()) {
+                    (Some(r), Ok(l)) => op.apply_num(l, *r),
+                    _ => op.apply_str(t, value),
+                }
+            }),
+            CompiledPredicate::And(ps) => ps.iter().all(|p| p.eval(item)),
+            CompiledPredicate::Or(ps) => ps.iter().any(|p| p.eval(item)),
+            CompiledPredicate::Not(p) => !p.eval(item),
+        }
     }
 }
 

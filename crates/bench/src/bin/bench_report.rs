@@ -10,14 +10,23 @@
 //! measured on the *same machine in the same run*, not absolute numbers
 //! compared across hardware.
 //!
+//! Since the batched-execution PR it also measures the **engine** hot
+//! path (`BENCH_engine.json`): the legacy materializing tree-walker
+//! (preserved as [`mqp_engine::legacy`]) against the batched, compiled
+//! evaluator, on the Figure-2-scale reduce workload and on hash-join
+//! probe throughput — same-run ratios again.
+//!
 //! Modes:
 //!
-//! * no args — print the JSON report to stdout;
-//! * `--update` — rewrite `BENCH_wire.json` at the workspace root;
+//! * no args — print one JSON object `{"wire": …, "engine": …}`
+//!   wrapping both reports to stdout;
+//! * `--update` — rewrite `BENCH_wire.json` + `BENCH_engine.json` at
+//!   the workspace root;
 //! * `--check` — re-measure and fail (exit 1) unless the fresh
 //!   speedups meet the committed floors (≥ 3× zero-copy parse, ≥ 2×
-//!   per-hop serialize) and are within 20% of the committed ratios
-//!   (the CI `perf-report` regression gate).
+//!   per-hop serialize; ≥ 3× batched reduce, ≥ 2× join probe) and are
+//!   within 20% of the committed ratios (the CI `perf-report`
+//!   regression gate, with large ratios capped before the drift test).
 
 use std::time::Instant;
 
@@ -37,6 +46,9 @@ const ITERS: usize = 5;
 /// Speedup floors the PR committed to (also enforced by `--check`).
 const PARSE_FLOOR: f64 = 3.0;
 const SERIALIZE_FLOOR: f64 = 2.0;
+/// Engine floors: batched-vs-legacy reduce, and join probe throughput.
+const REDUCE_FLOOR: f64 = 3.0;
+const JOIN_FLOOR: f64 = 2.0;
 /// Allowed drift versus the committed ratios before `--check` fails.
 const DRIFT: f64 = 0.20;
 
@@ -71,13 +83,34 @@ fn envelope() -> Mqp {
 
 /// Best-of-`ITERS` wall time of `f`, in seconds.
 fn time_best(mut f: impl FnMut()) -> f64 {
+    time_best_n(ITERS, &mut f)
+}
+
+fn time_best_n(iters: usize, f: &mut impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..ITERS {
+    for _ in 0..iters {
         let t0 = Instant::now();
         f();
         best = best.min(t0.elapsed().as_secs_f64());
     }
     best
+}
+
+/// Best-of measurement of two alternatives, *interleaved* (a, b, a, b,
+/// …) so a scheduler hiccup hits both sides with equal probability —
+/// the engine ratios gate CI, so their variance matters more than
+/// their absolute values.
+fn time_best_pair(iters: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        a();
+        best_a = best_a.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        b();
+        best_b = best_b.min(t0.elapsed().as_secs_f64());
+    }
+    (best_a, best_b)
 }
 
 fn mb_per_s(bytes: usize, secs: f64) -> f64 {
@@ -270,7 +303,7 @@ fn measure() -> Report {
         let mut rewritten = parsed;
         mqp_core::rewrite::normalize(&mut rewritten);
         let result = mqp_engine::eval_const(&rewritten).expect("evaluate");
-        std::hint::black_box(to_wire(&Plan::data(result)));
+        std::hint::black_box(to_wire(&Plan::data_shared(result)));
     });
     let routing_slice_s = time_best(|| {
         use mqp_workloads::garage::{build, random_query, GarageConfig};
@@ -306,8 +339,139 @@ fn measure() -> Report {
     }
 }
 
+// ----------------------------------------------------------------------
+// Engine report: legacy materializing eval vs batched compiled eval.
+// ----------------------------------------------------------------------
+
+struct EngineReport {
+    reduce_items: usize,
+    probe_items: usize,
+    reduce_legacy_ms: f64,
+    reduce_batched_ms: f64,
+    probe_legacy_kitems_s: f64,
+    probe_batched_kitems_s: f64,
+}
+
+impl EngineReport {
+    fn reduce_speedup(&self) -> f64 {
+        self.reduce_legacy_ms / self.reduce_batched_ms
+    }
+
+    fn join_probe_speedup(&self) -> f64 {
+        self.probe_batched_kitems_s / self.probe_legacy_kitems_s
+    }
+
+    fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut section = |name: &str, fields: &[(&str, String)], last: bool| {
+            let _ = writeln!(out, "  \"{name}\": {{");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                let comma = if i + 1 < fields.len() { "," } else { "" };
+                let _ = writeln!(out, "    \"{k}\": {v}{comma}");
+            }
+            let _ = writeln!(out, "  }}{}", if last { "" } else { "," });
+        };
+        let f = |x: f64| format!("{x:.2}");
+        section(
+            "workload",
+            &[
+                ("items", ITEMS.to_string()),
+                ("reduce_input_items", self.reduce_items.to_string()),
+                ("join_probe_items", self.probe_items.to_string()),
+            ],
+            false,
+        );
+        section(
+            "reduce",
+            &[
+                ("legacy_ms", f(self.reduce_legacy_ms)),
+                ("batched_ms", f(self.reduce_batched_ms)),
+                ("speedup", f(self.reduce_speedup())),
+            ],
+            false,
+        );
+        section(
+            "join_probe",
+            &[
+                ("legacy_kitems_s", f(self.probe_legacy_kitems_s)),
+                ("batched_kitems_s", f(self.probe_batched_kitems_s)),
+                ("speedup", f(self.join_probe_speedup())),
+            ],
+            false,
+        );
+        section(
+            "floors",
+            &[
+                ("reduce_speedup_min", f(REDUCE_FLOOR)),
+                ("join_probe_speedup_min", f(JOIN_FLOOR)),
+            ],
+            true,
+        );
+        format!("{{\n  \"schema\": \"bench_engine/v1\",\n{out}}}\n")
+    }
+}
+
+fn measure_engine() -> EngineReport {
+    // The fig2-pipeline-scale reduce workload: exactly the sub-plan a
+    // completing server evaluates in `exp_fig2_pipeline` — join the
+    // song list against the price-filtered collection — at the largest
+    // collection size. The legacy path deep-copies every input item
+    // out of the data leaves before it looks at a single predicate;
+    // the batched path bumps reference counts and runs compiled
+    // matchers.
+    let reduce_plan = fig2_plan();
+    let reduce_items = ITEMS + ITEMS / 10;
+    let (reduce_legacy, reduce_batched) = time_best_pair(
+        2 * ITERS,
+        || {
+            std::hint::black_box(
+                mqp_engine::legacy::eval_const(&reduce_plan).expect("legacy eval"),
+            );
+        },
+        || {
+            std::hint::black_box(mqp_engine::eval_const(&reduce_plan).expect("batched eval"));
+        },
+    );
+
+    // Hash-join probe throughput: the paper's Figure-3 shape — a small
+    // song list (the build-side index) joined against the whole
+    // for-sale collection (the probe side). Probe work dominates:
+    // throughput is probe items per second. The legacy path deep-copies
+    // the probe collection and allocates a `Vec<String>` of keys per
+    // probe item; the batched path borrows both.
+    let probe_items = ITEMS;
+    let join_plan = Plan::join(
+        JoinCond::on("album", "title"),
+        Plan::data(fig2_songs(ITEMS / 100)),
+        Plan::data(fig2_collection(ITEMS)),
+    );
+    let (probe_legacy, probe_batched) = time_best_pair(
+        2 * ITERS,
+        || {
+            std::hint::black_box(mqp_engine::legacy::eval_const(&join_plan).expect("legacy join"));
+        },
+        || {
+            std::hint::black_box(mqp_engine::eval_const(&join_plan).expect("batched join"));
+        },
+    );
+
+    EngineReport {
+        reduce_items,
+        probe_items,
+        reduce_legacy_ms: reduce_legacy * 1e3,
+        reduce_batched_ms: reduce_batched * 1e3,
+        probe_legacy_kitems_s: probe_items as f64 / 1e3 / probe_legacy,
+        probe_batched_kitems_s: probe_items as f64 / 1e3 / probe_batched,
+    }
+}
+
 fn committed_path() -> std::path::PathBuf {
     std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_wire.json")
+}
+
+fn committed_engine_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
 }
 
 /// Pulls `"key": <number>` out of `section` in our own JSON shape.
@@ -397,26 +561,91 @@ fn check(report: &Report) -> Result<(), String> {
     }
 }
 
+/// The engine gate: same shape check, same floors-plus-capped-drift
+/// logic as the wire gate, against `BENCH_engine.json`.
+fn check_engine(report: &EngineReport) -> Result<(), String> {
+    let committed = std::fs::read_to_string(committed_engine_path())
+        .map_err(|e| format!("cannot read committed BENCH_engine.json: {e}"))?;
+    for (section, key) in [
+        ("workload", "items"),
+        ("reduce", "speedup"),
+        ("join_probe", "speedup"),
+        ("floors", "reduce_speedup_min"),
+    ] {
+        if json_f64(&committed, section, key).is_none() {
+            return Err(format!(
+                "committed BENCH_engine.json is missing {section}.{key}; \
+                 regenerate it with `bench_report --update`"
+            ));
+        }
+    }
+    let mut failures = Vec::new();
+    let mut gate = |name: &str, fresh: f64, floor: f64| {
+        let committed_ratio = json_f64(&committed, name, "speedup").unwrap_or(floor);
+        // Same capping rule as the wire gate: a huge committed ratio
+        // wobbles with the machine; only collapsing toward the floor
+        // counts as a regression.
+        let min_allowed = floor.max(committed_ratio.min(4.0 * floor) * (1.0 - DRIFT));
+        eprintln!(
+            "perf-report: engine {name}: fresh {fresh:.2}x (committed {committed_ratio:.2}x, \
+             floor {floor:.1}x, regression gate {min_allowed:.2}x)"
+        );
+        if fresh < min_allowed {
+            failures.push(format!(
+                "engine {name} speedup {fresh:.2}x below gate {min_allowed:.2}x"
+            ));
+        }
+    };
+    gate("reduce", report.reduce_speedup(), REDUCE_FLOOR);
+    gate("join_probe", report.join_probe_speedup(), JOIN_FLOOR);
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_default();
     let report = measure();
+    let engine = measure_engine();
     match mode.as_str() {
         "--update" => {
             std::fs::write(committed_path(), report.to_json()).expect("write BENCH_wire.json");
+            std::fs::write(committed_engine_path(), engine.to_json())
+                .expect("write BENCH_engine.json");
             eprintln!(
                 "bench_report: wrote {} (parse {:.2}x, per-hop serialize {:.2}x)",
                 committed_path().display(),
                 report.parse_speedup(),
                 report.serialize_speedup(),
             );
+            eprintln!(
+                "bench_report: wrote {} (reduce {:.2}x, join probe {:.2}x)",
+                committed_engine_path().display(),
+                engine.reduce_speedup(),
+                engine.join_probe_speedup(),
+            );
         }
         "--check" => {
-            if let Err(e) = check(&report) {
+            let wire = check(&report);
+            let eng = check_engine(&engine);
+            if let Err(e) = wire.and(eng) {
                 eprintln!("perf-report: FAIL: {e}");
                 std::process::exit(1);
             }
             eprintln!("perf-report: OK");
         }
-        _ => print!("{}", report.to_json()),
+        _ => {
+            // One parseable JSON value wrapping both reports (each
+            // committed file keeps its own top-level shape).
+            let wire = report.to_json();
+            let engine = engine.to_json();
+            print!(
+                "{{\n\"wire\": {},\n\"engine\": {}\n}}\n",
+                wire.trim_end(),
+                engine.trim_end()
+            );
+        }
     }
 }

@@ -69,7 +69,7 @@ fn main() {
         let t_eval = t0.elapsed();
 
         let t0 = Instant::now();
-        let out = to_wire(&Plan::data(result.clone()));
+        let out = to_wire(&Plan::data_shared(result.clone()));
         let t_reserialize = t0.elapsed();
 
         rows.push(vec![

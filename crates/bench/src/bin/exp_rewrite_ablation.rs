@@ -57,7 +57,7 @@ fn main() {
             // Reduce the local branch as the processor would.
             if let Plan::Join { left, .. } = &mut rewritten {
                 let reduced = eval_const(left).expect("local join");
-                **left = Plan::data(reduced);
+                **left = Plan::data_shared(reduced);
             }
             wire_size(&rewritten)
         } else {

@@ -2,11 +2,13 @@
 //! find locally-evaluable sub-plans → policy → evaluate → substitute →
 //! route onward.
 
+use std::cell::RefCell;
+
 use mqp_algebra::codec::wire_size;
 use mqp_algebra::plan::{NodePath, Plan, UrlRef, UrnRef};
 use mqp_catalog::ServerId;
-use mqp_engine::{estimate, eval, Resolver};
-use mqp_xml::Element;
+use mqp_engine::{compile_cached, estimate, CompileCache, Resolver};
+use mqp_xml::Batch;
 
 use crate::mqp::Mqp;
 use crate::policy::Policy;
@@ -25,8 +27,10 @@ pub trait ServerContext {
     }
 
     /// Local items behind a URL, if that URL points at data this server
-    /// holds (its own address, or content it replicates).
-    fn local_url_data(&self, url: &UrlRef) -> Option<Vec<Element>>;
+    /// holds (its own address, or content it replicates). Returned as a
+    /// shared [`Batch`]: the store *lends* item handles, it never
+    /// copies collections.
+    fn local_url_data(&self, url: &UrlRef) -> Option<Batch>;
 
     /// Binds a URN to a replacement sub-plan using the local catalog
     /// (URN → URLs / `Or` alternatives, §3.4/§4.2). Returns the
@@ -46,8 +50,9 @@ pub enum Outcome {
     Complete {
         /// The display target, if the plan carried one.
         target: Option<String>,
-        /// The final result items.
-        items: Vec<Element>,
+        /// The final result items, still sharing the evaluation's item
+        /// handles (they materialize only at the wire).
+        items: Batch,
     },
     /// The plan still needs other servers; forward the MQP to `to`.
     Forward {
@@ -67,6 +72,11 @@ pub enum Outcome {
 pub struct Processor {
     /// The policy manager's knobs.
     pub policy: Policy,
+    /// Per-peer compile cache: predicates of queries this server has
+    /// seen (across hops, retries, and repeated workload shapes) skip
+    /// re-compilation. Interior-mutable because processing borrows the
+    /// processor shared.
+    compile_cache: RefCell<CompileCache>,
 }
 
 /// Adapts a [`ServerContext`] to the engine's [`Resolver`]: URLs come
@@ -75,11 +85,11 @@ pub struct Processor {
 struct CtxResolver<'a, C: ServerContext + ?Sized>(&'a C);
 
 impl<C: ServerContext + ?Sized> Resolver for CtxResolver<'_, C> {
-    fn resolve_url(&self, url: &UrlRef) -> Option<Vec<Element>> {
+    fn resolve_url(&self, url: &UrlRef) -> Option<Batch> {
         self.0.local_url_data(url)
     }
 
-    fn resolve_urn(&self, _urn: &UrnRef) -> Option<Vec<Element>> {
+    fn resolve_urn(&self, _urn: &UrnRef) -> Option<Batch> {
         None
     }
 }
@@ -87,7 +97,10 @@ impl<C: ServerContext + ?Sized> Resolver for CtxResolver<'_, C> {
 impl Processor {
     /// Creates a processor with the given policy.
     pub fn new(policy: Policy) -> Self {
-        Processor { policy }
+        Processor {
+            policy,
+            compile_cache: RefCell::new(CompileCache::new()),
+        }
     }
 
     /// Processes an MQP at this server, mutating it in place, and says
@@ -135,12 +148,12 @@ impl Processor {
         // 5. Reduce locally evaluable sub-plans the policy approves.
         acted |= self.reduce(mqp, ctx, now) > 0;
 
-        // 6. Done?
+        // 6. Done? The final items keep sharing the plan's handles.
         if mqp.plan().is_fully_evaluated() {
             let target = mqp.plan().target().map(str::to_owned);
             let items = match mqp.plan() {
-                Plan::Display { input, .. } => input.as_data().unwrap_or_default().to_vec(),
-                plan => plan.as_data().unwrap_or_default().to_vec(),
+                Plan::Display { input, .. } => input.as_data().cloned().unwrap_or_default(),
+                plan => plan.as_data().cloned().unwrap_or_default(),
             };
             return Outcome::Complete { target, items };
         }
@@ -287,23 +300,29 @@ impl Processor {
                     self.annotate_deferred(mqp, &path, ctx, now);
                     continue;
                 }
-                // Name every source the reduction consumed so
-                // provenance audits (§5.1) can account for them.
-                let mut sources: Vec<String> = sub.urls().iter().map(|u| u.href.clone()).collect();
-                sources.extend(sub.urns().iter().map(|u| u.urn.to_string()));
-                let detail = if sources.is_empty() {
-                    format!("reduced {} at {path}", sub.op_name())
-                } else {
-                    format!(
-                        "reduced {} at {path} over {}",
-                        sub.op_name(),
-                        sources.join(" ")
-                    )
-                };
-                match eval(sub, &resolver) {
+                let evaluated =
+                    compile_cached(sub, &mut self.compile_cache.borrow_mut()).eval(&resolver);
+                match evaluated {
                     Ok(items) => {
+                        // Name every source the reduction consumed so
+                        // provenance audits (§5.1) can account for
+                        // them. Built only now that the record will
+                        // actually be written — a failed eval never
+                        // pays for the formatting.
+                        let mut sources: Vec<String> =
+                            sub.urls().iter().map(|u| u.href.clone()).collect();
+                        sources.extend(sub.urns().iter().map(|u| u.urn.to_string()));
+                        let detail = if sources.is_empty() {
+                            format!("reduced {} at {path}", sub.op_name())
+                        } else {
+                            format!(
+                                "reduced {} at {path} over {}",
+                                sub.op_name(),
+                                sources.join(" ")
+                            )
+                        };
                         mqp.plan_mut()
-                            .replace(&path, Plan::data(items))
+                            .replace(&path, Plan::data_shared(items))
                             .expect("path from maximal_evaluable is valid");
                         mqp.record(VisitRecord {
                             server: me.clone(),
@@ -462,7 +481,7 @@ mod tests {
     /// bindings, and a static routing table.
     struct TestCtx {
         id: ServerId,
-        local: HashMap<String, Vec<Element>>,
+        local: HashMap<String, Batch>,
         bindings: HashMap<String, Plan>,
         next: Option<ServerId>,
     }
@@ -501,7 +520,7 @@ mod tests {
             self.id.clone()
         }
 
-        fn local_url_data(&self, url: &UrlRef) -> Option<Vec<Element>> {
+        fn local_url_data(&self, url: &UrlRef) -> Option<Batch> {
             self.local.get(&url.href).cloned()
         }
 

@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use mqp_xml::Element;
+use mqp_xml::Batch;
 
 /// Identifies one submitted query. Allocated by the submitting
 /// front-end (`SimHarness::submit` / `MqpClient::submit`) and threaded
@@ -53,8 +53,9 @@ impl From<QueryId> for u64 {
 pub struct QueryOutcome {
     /// Query id (from the submitting front-end).
     pub qid: QueryId,
-    /// Result items (empty when stuck).
-    pub items: Vec<Element>,
+    /// Result items (empty when stuck), sharing the completing
+    /// evaluation's item handles.
+    pub items: Batch,
     /// `None` on success; the reason when the query got stuck.
     pub failure: Option<String>,
     /// Completion time minus submission time (µs) — simulated time

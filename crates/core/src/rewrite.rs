@@ -119,8 +119,8 @@ pub fn consolidate_tracked(plan: &mut Plan) -> (usize, bool) {
                 other => flat.push(other),
             }
         }
-        // Merge data leaves.
-        let mut merged: Vec<mqp_xml::Element> = Vec::new();
+        // Merge data leaves — handle moves, no item copies.
+        let mut merged = mqp_xml::Batch::new();
         let mut data_leaves = 0;
         let mut rest: Vec<Plan> = Vec::with_capacity(flat.len());
         for i in flat {
@@ -136,7 +136,7 @@ pub fn consolidate_tracked(plan: &mut Plan) -> (usize, bool) {
             count += data_leaves - 1;
         }
         if data_leaves > 0 {
-            rest.insert(0, Plan::data(merged));
+            rest.insert(0, Plan::data_shared(merged));
         }
         if rest.len() == 1 {
             *plan = rest.into_iter().next().unwrap();
@@ -344,7 +344,7 @@ fn strip_first(path: &mqp_xml::xpath::Path) -> mqp_xml::xpath::Path {
 
 fn prefix(path: &mqp_xml::xpath::Path, name: &str) -> mqp_xml::xpath::Path {
     let mut steps = vec![mqp_xml::xpath::Step {
-        test: mqp_xml::xpath::NodeTest::Name(name.to_owned()),
+        test: mqp_xml::xpath::NodeTest::Name(mqp_xml::Name::new(name)),
         predicates: Vec::new(),
     }];
     steps.extend(path.steps.iter().cloned());
@@ -498,7 +498,7 @@ mod tests {
 
     /// Collects the base (non-`tuple`) items of a result, flattening
     /// join nesting — the equivalence absorption preserves.
-    fn flatten(items: &[Element]) -> Vec<String> {
+    fn flatten(items: &mqp_xml::Batch) -> Vec<String> {
         fn rec(e: &Element, out: &mut Vec<String>) {
             if e.name() == "tuple" {
                 for c in e.child_elements() {

@@ -1,4 +1,4 @@
-//! # mqp-engine — local evaluation of mutant-query sub-plans
+//! # mqp-engine — batched local evaluation of mutant-query sub-plans
 //!
 //! The paper's prototype used the Niagara XML engine; this crate is the
 //! substitute: an in-memory evaluator for the `mqp-algebra` operators
@@ -6,14 +6,28 @@
 //! the Figure-2 *optimizer* and *policy manager* consult before deciding
 //! which locally-evaluable sub-plans to reduce.
 //!
-//! * [`eval()`](eval::eval) — evaluates a plan to a collection of items, resolving
-//!   `Url`/`Urn` leaves through a caller-supplied [`Resolver`] (the peer
-//!   layer backs this with its local store and catalog).
+//! * [`compile()`](compile::compile) — the one-time pass turning a plan's predicates
+//!   and paths into interned-name matchers; [`CompileCache`] adds
+//!   per-peer reuse across hops and queries.
+//! * [`eval()`](eval::eval) — evaluates a plan to a shared [`mqp_xml::Batch`] of
+//!   items, resolving `Url`/`Urn` leaves through a caller-supplied
+//!   [`Resolver`] (the peer layer backs this with its local store and
+//!   catalog, which *lends* `Arc` handles instead of cloning
+//!   collections).
+//! * [`legacy`] — the pre-batching materializing evaluator, frozen as
+//!   the measured baseline (`BENCH_engine.json`) and the equivalence
+//!   oracle for the property tests.
 //! * [`cost`] — size estimation: annotated statistics when present
 //!   (paper §5.1), System-R-style defaults otherwise.
 
+pub mod compile;
 pub mod cost;
 pub mod eval;
+pub mod legacy;
 
+pub use compile::{compile, compile_cached, CompileCache, CompiledPlan};
 pub use cost::{estimate, Estimate};
 pub use eval::{eval, eval_const, EvalError, NoResolver, Resolver};
+
+#[cfg(test)]
+mod proptests;

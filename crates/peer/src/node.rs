@@ -23,7 +23,6 @@ use mqp_catalog::{CatalogEntry, ServerId};
 use mqp_core::{Action, Mqp, Outcome, QueryId, QueryOutcome, VisitRecord};
 use mqp_namespace::InterestArea;
 use mqp_net::NodeId;
-use mqp_xml::Element;
 
 use crate::peer::Peer;
 use crate::wire::{Frame, Meter, MqpFrame, ResultFrame};
@@ -351,7 +350,7 @@ impl PeerNode {
                     w.qid,
                     frame_meter(&w.frame),
                     now,
-                    Vec::new(),
+                    mqp_xml::Batch::new(),
                     Some(format!(
                         "gave up after {} retries; last hop {dead} unresponsive",
                         w.attempts
@@ -472,7 +471,7 @@ impl PeerNode {
         }
         // Reparse the concatenated items.
         let wrapped = format!("<results>{}</results>", rf.items);
-        let items: Vec<Element> = mqp_xml::parse(&wrapped)
+        let items: mqp_xml::Batch = mqp_xml::parse(&wrapped)
             .map(|r| r.child_elements().cloned().collect())
             .unwrap_or_default();
         effects.push(Effect::Complete(mk_outcome(
@@ -567,7 +566,7 @@ impl PeerNode {
                             qid,
                             mf.meter,
                             now,
-                            Vec::new(),
+                            mqp_xml::Batch::new(),
                             Some(format!("route to unknown server {to}")),
                             None,
                         )));
@@ -597,7 +596,7 @@ impl PeerNode {
                         qid,
                         mf.meter,
                         now,
-                        Vec::new(),
+                        mqp_xml::Batch::new(),
                         Some(reason),
                         None,
                     )));
@@ -615,7 +614,7 @@ fn mk_outcome(
     qid: QueryId,
     meter: Meter,
     now: u64,
-    items: Vec<Element>,
+    items: mqp_xml::Batch,
     failure: Option<String>,
     audit_clean: Option<bool>,
 ) -> QueryOutcome {

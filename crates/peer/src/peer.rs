@@ -169,7 +169,7 @@ impl ServerContext for Peer {
         self.clock_us.get()
     }
 
-    fn local_url_data(&self, url: &UrlRef) -> Option<Vec<Element>> {
+    fn local_url_data(&self, url: &UrlRef) -> Option<mqp_xml::Batch> {
         let host = ServerId::from_url(&url.href)?;
         if host != self.id {
             return None;

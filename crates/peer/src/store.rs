@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use mqp_namespace::InterestArea;
 use mqp_xml::xpath::Path;
-use mqp_xml::Element;
+use mqp_xml::{Batch, Element};
 
 /// One named collection — the paper's unit of publication: an index
 /// entry references it as `(http://host, /data[@id='NAME'])` (§3.2).
@@ -15,8 +15,9 @@ pub struct Collection {
     pub name: String,
     /// The interest area the collection's items fall in.
     pub area: InterestArea,
-    /// The items.
-    pub items: Vec<Element>,
+    /// The items, as a shared batch: lookups lend handles out of this
+    /// batch instead of cloning the collection.
+    pub items: Batch,
 }
 
 /// A peer's local collections.
@@ -50,7 +51,7 @@ impl LocalStore {
             .or_insert_with(|| Collection {
                 name: name.to_owned(),
                 area: area.clone(),
-                items: Vec::new(),
+                items: Batch::new(),
             });
         c.area = c.area.union(area);
         c.items.extend(items);
@@ -87,39 +88,48 @@ impl LocalStore {
     /// `/data[@id='NAME']` = that collection; any other XPath selects
     /// from the synthetic `<data>` document containing every collection
     /// item.
-    pub fn items_for(&self, collection: Option<&Path>) -> Option<Vec<Element>> {
+    ///
+    /// The store *lends*: the returned batch shares the collections'
+    /// item handles (reference-count bumps). Only the general-XPath
+    /// arm, which selects arbitrary *sub*-elements, materializes — a
+    /// sub-element has no handle of its own.
+    pub fn items_for(&self, collection: Option<&Path>) -> Option<Batch> {
         match collection {
-            None => Some(
-                self.collections
-                    .values()
-                    .flat_map(|c| c.items.iter().cloned())
-                    .collect(),
-            ),
+            None => {
+                let mut out = Batch::with_capacity(self.len());
+                for c in self.collections.values() {
+                    out.extend_shared(&c.items);
+                }
+                Some(out)
+            }
             Some(path) => {
-                // Fast path: /data[@id='NAME'].
+                // Fast path: /data[@id='NAME'] — lends the whole
+                // collection.
                 if let Some(name) = collection_id(path) {
                     return self.get(&name).map(|c| c.items.clone());
                 }
                 // General: evaluate against <data><collection …>items…</…></data>.
                 let mut doc = Element::new("data");
                 for c in self.collections.values() {
-                    for i in &c.items {
+                    for i in c.items.iter() {
                         doc.push_child(mqp_xml::Node::Element(i.clone()));
                     }
                 }
-                let sel: Vec<Element> = path.select_elements(&doc).into_iter().cloned().collect();
+                let sel: Batch = path.select_elements(&doc).into_iter().cloned().collect();
                 Some(sel)
             }
         }
     }
 
-    /// Items whose collection area overlaps `area`.
-    pub fn items_overlapping(&self, area: &InterestArea) -> Vec<Element> {
-        self.collections
-            .values()
-            .filter(|c| c.area.overlaps(area))
-            .flat_map(|c| c.items.iter().cloned())
-            .collect()
+    /// Items whose collection area overlaps `area` (lent handles).
+    pub fn items_overlapping(&self, area: &InterestArea) -> Batch {
+        let mut out = Batch::new();
+        for c in self.collections.values() {
+            if c.area.overlaps(area) {
+                out.extend_shared(&c.items);
+            }
+        }
+        out
     }
 }
 
@@ -129,11 +139,11 @@ fn collection_id(path: &Path) -> Option<String> {
         return None;
     }
     let step = &path.steps[0];
-    if !matches!(&step.test, mqp_xml::xpath::NodeTest::Name(n) if n == "data") {
+    if !matches!(&step.test, mqp_xml::xpath::NodeTest::Name(n) if n.as_str() == "data") {
         return None;
     }
     match step.predicates.as_slice() {
-        [mqp_xml::xpath::Predicate::Attr(a, mqp_xml::xpath::Op::Eq, v)] if a == "id" => {
+        [mqp_xml::xpath::Predicate::Attr(a, mqp_xml::xpath::Op::Eq, v)] if a.as_str() == "id" => {
             Some(v.clone())
         }
         _ => None,
@@ -153,12 +163,13 @@ mod tests {
             items: vec![
                 parse("<item><title>A</title><price>8</price></item>").unwrap(),
                 parse("<item><title>B</title><price>12</price></item>").unwrap(),
-            ],
+            ]
+            .into(),
         });
         s.put(Collection {
             name: "chairs".to_owned(),
             area: InterestArea::parse(&[&["USA/OR/Portland", "Furniture/Chairs"]]),
-            items: vec![parse("<item><title>armchair</title></item>").unwrap()],
+            items: vec![parse("<item><title>armchair</title></item>").unwrap()].into(),
         });
         s
     }

@@ -32,8 +32,16 @@ const POOL_CAP: usize = 1 << 16;
 /// SipHash's per-lookup cost is measurable. Not DoS-resistant — the
 /// pool is capped and per-thread, so the worst an adversarial
 /// vocabulary can do is degrade its own thread's probe chains.
+///
+/// Exposed (as [`FxBuildHasher`]) for other *bounded, per-query* hash
+/// tables with the same trade-off — the engine's join-key indexes live
+/// for one evaluation and are sized by one batch, so an adversarial
+/// key set can only degrade its own query's probe chains.
 #[derive(Default)]
-struct FxHasher(u64);
+pub struct FxHasher(u64);
+
+/// `BuildHasher` for [`FxHasher`] (see its DoS caveat).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {

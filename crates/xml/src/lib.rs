@@ -16,6 +16,7 @@
 //! * **Cheap size accounting** — [`Element::serialized_len`] lets the
 //!   network layer charge bytes without materializing strings.
 
+pub mod batch;
 pub mod canon;
 pub mod error;
 pub mod intern;
@@ -24,12 +25,13 @@ pub mod parse;
 pub mod serialize;
 pub mod xpath;
 
+pub use batch::Batch;
 pub use canon::{
     parse_canonical, parse_canonical_spanned, skip_subtree, NotCanonical, SpanNode, Token,
     Tokenizer, TreeBuilder,
 };
 pub use error::{ParseError, Result};
-pub use intern::Name;
+pub use intern::{FxBuildHasher, Name};
 pub use node::{Element, Node};
 pub use parse::{parse, parse_document};
 pub use serialize::{serialize, serialize_into, serialize_pretty};

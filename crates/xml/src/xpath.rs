@@ -18,13 +18,21 @@
 //! Comparisons are numeric when both sides parse as `f64`, otherwise
 //! lexicographic — matching the loose typing of XML data bundles.
 
+use std::borrow::Cow;
 use std::fmt;
 use std::str::FromStr;
 
 use crate::error::{ErrorKind, ParseError, Result};
+use crate::intern::Name;
 use crate::node::Element;
 
 /// A parsed XPath expression.
+///
+/// Parsing *is* the compile pass: step names and predicate field/attr
+/// names are interned [`Name`]s, so matching a step against an element
+/// is a pointer/ID comparison (see [`crate::intern`]), never a string
+/// scan. A parsed `Path` can therefore be cached per query and replayed
+/// against thousands of items with no per-node allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Path {
     /// Absolute paths (`/a/b`) match the root element against the first
@@ -44,8 +52,8 @@ pub struct Step {
 /// Which nodes a step selects.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeTest {
-    /// A child element with this tag name.
-    Name(String),
+    /// A child element with this (interned) tag name.
+    Name(Name),
     /// Any child element.
     Any,
     /// The concatenated text of the context element.
@@ -57,10 +65,11 @@ pub enum NodeTest {
 pub enum Predicate {
     /// `[3]` — keep only the n-th match (1-based).
     Position(usize),
-    /// `[@id='245']` — attribute comparison.
-    Attr(String, Op, String),
-    /// `[price < 10]` — first child element with this name, deep text.
-    Field(String, Op, String),
+    /// `[@id='245']` — attribute comparison (interned attribute name).
+    Attr(Name, Op, String),
+    /// `[price < 10]` — first child element with this (interned) name,
+    /// deep text.
+    Field(Name, Op, String),
     /// `[text() = 'x']` — own text comparison.
     OwnText(Op, String),
 }
@@ -81,23 +90,34 @@ impl Op {
     /// else lexicographic.
     pub fn apply(self, left: &str, right: &str) -> bool {
         if let (Ok(l), Ok(r)) = (left.trim().parse::<f64>(), right.trim().parse::<f64>()) {
-            match self {
-                Op::Eq => l == r,
-                Op::Ne => l != r,
-                Op::Lt => l < r,
-                Op::Le => l <= r,
-                Op::Gt => l > r,
-                Op::Ge => l >= r,
-            }
+            self.apply_num(l, r)
         } else {
-            match self {
-                Op::Eq => left == right,
-                Op::Ne => left != right,
-                Op::Lt => left < right,
-                Op::Le => left <= right,
-                Op::Gt => left > right,
-                Op::Ge => left >= right,
-            }
+            self.apply_str(left, right)
+        }
+    }
+
+    /// The numeric arm of [`Op::apply`]. Exposed so compiled predicates
+    /// can pre-parse a literal once and skip the per-item re-parse.
+    pub fn apply_num(self, l: f64, r: f64) -> bool {
+        match self {
+            Op::Eq => l == r,
+            Op::Ne => l != r,
+            Op::Lt => l < r,
+            Op::Le => l <= r,
+            Op::Gt => l > r,
+            Op::Ge => l >= r,
+        }
+    }
+
+    /// The lexicographic arm of [`Op::apply`].
+    pub fn apply_str(self, left: &str, right: &str) -> bool {
+        match self {
+            Op::Eq => left == right,
+            Op::Ne => left != right,
+            Op::Lt => left < right,
+            Op::Le => left <= right,
+            Op::Gt => left > right,
+            Op::Ge => left >= right,
         }
     }
 
@@ -131,86 +151,125 @@ impl Path {
     /// `root`'s children. `text()` steps select nothing here (they are
     /// not elements) — use [`Path::select_values`].
     pub fn select_elements<'a>(&self, root: &'a Element) -> Vec<&'a Element> {
-        let mut current: Vec<&'a Element> = Vec::new();
-        let mut steps = self.steps.iter();
-        if self.absolute {
-            let Some(first) = steps.next() else {
-                return vec![root];
-            };
-            if matches!(first.test, NodeTest::Text) {
-                return Vec::new();
+        let mut out = Vec::new();
+        visit_path(self.absolute, &self.steps, root, &mut |e| {
+            out.push(e);
+            true
+        });
+        out
+    }
+
+    /// Visits each value the path selects — the deep text of matched
+    /// elements, or the direct text when the final step is `text()` —
+    /// in document order, as borrowed [`Cow`]s. This is the allocation-
+    /// free variant of [`Path::select_values`]: single-text fields (the
+    /// overwhelmingly common shape of data bundles) arrive borrowed, so
+    /// join-key extraction and predicate evaluation touch no heap.
+    pub fn for_each_value<'a>(&self, root: &'a Element, f: &mut impl FnMut(Cow<'a, str>)) {
+        self.visit_values(root, &mut |v| {
+            f(v);
+            true
+        });
+    }
+
+    /// Visits values until `f` returns `true` (a match); returns whether
+    /// any value matched. The short-circuiting form predicates use for
+    /// their existential semantics.
+    pub fn any_value(&self, root: &Element, f: &mut impl FnMut(&str) -> bool) -> bool {
+        !self.visit_values(root, &mut |v| !f(&v))
+    }
+
+    /// Core value walk: calls `f` per value, stops (returning `false`)
+    /// when `f` does.
+    fn visit_values<'a>(
+        &self,
+        root: &'a Element,
+        f: &mut impl FnMut(Cow<'a, str>) -> bool,
+    ) -> bool {
+        if let Some(last) = self.steps.last() {
+            if matches!(last.test, NodeTest::Text) {
+                let prefix = &self.steps[..self.steps.len() - 1];
+                return visit_path(self.absolute, prefix, root, &mut |e| f(e.direct_text()));
             }
-            if test_element(root, &first.test) && passes_all(root, &first.predicates, 0) {
-                current.push(root);
-            }
-        } else {
-            current.push(root);
-            // For relative paths the context itself is the starting set;
-            // steps below descend into children.
         }
-        for step in steps.clone() {
-            if matches!(step.test, NodeTest::Text) {
-                return Vec::new();
-            }
-        }
-        // Apply remaining steps (for relative paths: all steps).
-        let remaining: Vec<&Step> = if self.absolute {
-            steps.collect()
-        } else {
-            self.steps.iter().collect()
-        };
-        for step in remaining {
-            let mut next = Vec::new();
-            for ctx in current {
-                let mut idx = 0usize;
-                for child in ctx.child_elements() {
-                    if test_element(child, &step.test) {
-                        idx += 1;
-                        if passes_all(child, &step.predicates, idx) {
-                            next.push(child);
-                        }
-                    }
-                }
-            }
-            current = next;
-        }
-        current
+        visit_path(self.absolute, &self.steps, root, &mut |e| f(e.deep_text()))
     }
 
     /// Selects string values: the deep text of matched elements, or the
-    /// text content when the final step is `text()`.
+    /// text content when the final step is `text()`. Allocates one
+    /// `String` per value — prefer [`Path::for_each_value`] on hot
+    /// paths.
     pub fn select_values(&self, root: &Element) -> Vec<String> {
-        if let Some(last) = self.steps.last() {
-            if matches!(last.test, NodeTest::Text) {
-                let prefix = Path {
-                    absolute: self.absolute,
-                    steps: self.steps[..self.steps.len() - 1].to_vec(),
-                };
-                return prefix
-                    .select_elements(root)
-                    .into_iter()
-                    .map(|e| e.direct_text().into_owned())
-                    .collect();
-            }
-        }
-        self.select_elements(root)
-            .into_iter()
-            .map(|e| e.deep_text().into_owned())
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_value(root, &mut |v| out.push(v.into_owned()));
+        out
     }
 
     /// First value selected, trimmed, if any.
     pub fn first_value(&self, root: &Element) -> Option<String> {
-        self.select_values(root)
-            .into_iter()
-            .next()
-            .map(|s| s.trim().to_owned())
+        let mut out = None;
+        self.visit_values(root, &mut |v| {
+            out = Some(v.trim().to_owned());
+            false
+        });
+        out
     }
+}
+
+/// Walks the elements `steps` select from `root` in document order,
+/// calling `f` per match; `f` returns `false` to stop the walk early.
+/// Returns `false` iff the walk was stopped.
+fn visit_path<'a>(
+    absolute: bool,
+    steps: &[Step],
+    root: &'a Element,
+    f: &mut impl FnMut(&'a Element) -> bool,
+) -> bool {
+    if absolute {
+        let Some((first, rest)) = steps.split_first() else {
+            return f(root);
+        };
+        if matches!(first.test, NodeTest::Text) {
+            return true; // text() selects no elements
+        }
+        if test_element(root, &first.test) && passes_all(root, &first.predicates, 0) {
+            return visit_steps(rest, root, f);
+        }
+        true
+    } else {
+        visit_steps(steps, root, f)
+    }
+}
+
+/// Applies `steps` to `ctx`'s children, recursively; an empty step list
+/// means `ctx` itself is a match.
+fn visit_steps<'a>(
+    steps: &[Step],
+    ctx: &'a Element,
+    f: &mut impl FnMut(&'a Element) -> bool,
+) -> bool {
+    let Some((step, rest)) = steps.split_first() else {
+        return f(ctx);
+    };
+    if matches!(step.test, NodeTest::Text) {
+        return true; // text() mid-path selects no elements
+    }
+    let mut idx = 0usize;
+    for child in ctx.child_elements() {
+        if test_element(child, &step.test) {
+            idx += 1;
+            if passes_all(child, &step.predicates, idx) && !visit_steps(rest, child, f) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 fn test_element(e: &Element, test: &NodeTest) -> bool {
     match test {
-        NodeTest::Name(n) => e.name() == n,
+        // Interned names: usually a single pointer compare.
+        NodeTest::Name(n) => e.interned_name() == n,
         NodeTest::Any => true,
         NodeTest::Text => false,
     }
@@ -223,14 +282,16 @@ fn passes_all(e: &Element, preds: &[Predicate], position: usize) -> bool {
 fn passes(e: &Element, pred: &Predicate, position: usize) -> bool {
     match pred {
         Predicate::Position(n) => position == *n,
-        Predicate::Attr(name, op, lit) => match e.get_attr(name) {
-            Some(v) => op.apply(v, lit),
+        Predicate::Attr(name, op, lit) => match e.attrs().iter().find(|(n, _)| n == name) {
+            Some((_, v)) => op.apply(v, lit),
             None => false,
         },
-        Predicate::Field(name, op, lit) => match e.field(name) {
-            Some(v) => op.apply(&v, lit),
-            None => false,
-        },
+        Predicate::Field(name, op, lit) => {
+            match e.child_elements().find(|c| c.interned_name() == name) {
+                Some(c) => op.apply(c.deep_text().trim(), lit),
+                None => false,
+            }
+        }
         Predicate::OwnText(op, lit) => op.apply(e.deep_text().trim(), lit),
     }
 }
@@ -336,7 +397,7 @@ impl<'a> PathParser<'a> {
             NodeTest::Any
         } else {
             let name = self.parse_name()?;
-            NodeTest::Name(name)
+            NodeTest::Name(Name::new(name))
         };
         let mut predicates = Vec::new();
         loop {
@@ -353,7 +414,7 @@ impl<'a> PathParser<'a> {
         Ok(Step { test, predicates })
     }
 
-    fn parse_name(&mut self) -> Result<String> {
+    fn parse_name(&mut self) -> Result<&'a str> {
         let start = self.pos;
         match self.rest().chars().next() {
             Some(c) if c.is_alphabetic() || c == '_' => {}
@@ -367,7 +428,7 @@ impl<'a> PathParser<'a> {
             }
         }
         self.pos = start + end;
-        Ok(self.input[start..self.pos].to_owned())
+        Ok(&self.input[start..self.pos])
     }
 
     fn parse_predicate(&mut self) -> Result<Predicate> {
@@ -390,7 +451,7 @@ impl<'a> PathParser<'a> {
             let name = self.parse_name()?;
             let op = self.parse_op()?;
             let lit = self.parse_literal()?;
-            return Ok(Predicate::Attr(name, op, lit));
+            return Ok(Predicate::Attr(Name::new(name), op, lit));
         }
         if self.eat("text()") {
             let op = self.parse_op()?;
@@ -400,7 +461,7 @@ impl<'a> PathParser<'a> {
         let name = self.parse_name()?;
         let op = self.parse_op()?;
         let lit = self.parse_literal()?;
-        Ok(Predicate::Field(name, op, lit))
+        Ok(Predicate::Field(Name::new(name), op, lit))
     }
 
     fn parse_op(&mut self) -> Result<Op> {

@@ -40,7 +40,7 @@ fn arb_data_plan() -> impl Strategy<Value = Plan> {
 }
 
 /// Sorted serialized form: bag equality up to order.
-fn bag(items: &[Element]) -> Vec<String> {
+fn bag(items: &mqp::xml::Batch) -> Vec<String> {
     let mut v: Vec<String> = items.iter().map(mqp::xml::serialize).collect();
     v.sort();
     v
@@ -73,7 +73,7 @@ proptest! {
         let mut reduced = plan.clone();
         let sub = reduced.get(&path).unwrap().clone();
         let sub_result = eval_const(&sub).unwrap();
-        reduced.replace(&path, Plan::data(sub_result)).unwrap();
+        reduced.replace(&path, Plan::data_shared(sub_result)).unwrap();
         let via_reduction = eval_const(&reduced).unwrap();
         prop_assert_eq!(bag(&direct), bag(&via_reduction));
     }
