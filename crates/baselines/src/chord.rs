@@ -48,7 +48,14 @@ pub struct Chord {
     net: SimNet<Msg>,
     /// `ring[i]` = (id-space position, node); sorted by position.
     ring: Vec<(u64, NodeId)>,
-    /// Finger tables: `fingers[v][k]` = successor of `pos(v) + 2^k`.
+    /// Finger tables, deduplicated: the distinct successors of
+    /// `pos(v) + 2^k` for k in 0..M, first occurrence first (so
+    /// `fingers[v][0]` is still the immediate successor). Nearby
+    /// targets share a successor, so ~log n entries survive instead of
+    /// M=64 — the difference between 512 B and ~140 B per node at 100k
+    /// peers. Routing is unchanged: `closest_preceding` scans the whole
+    /// table and picks the best candidate, so dropping duplicates
+    /// cannot change its answer.
     fingers: Vec<Vec<NodeId>>,
     /// Key storage at each node: key → holders.
     storage: Vec<HashMap<String, Vec<NodeId>>>,
@@ -67,12 +74,16 @@ impl Chord {
         ring.sort_unstable();
         let fingers = (0..n)
             .map(|v| {
-                (0..M)
-                    .map(|k| {
-                        let target = positions[v].wrapping_add(1u64.wrapping_shl(k));
-                        successor_of(&ring, target)
-                    })
-                    .collect()
+                let mut table: Vec<NodeId> = Vec::new();
+                for k in 0..M {
+                    let target = positions[v].wrapping_add(1u64.wrapping_shl(k));
+                    let s = successor_of(&ring, target);
+                    if !table.contains(&s) {
+                        table.push(s);
+                    }
+                }
+                table.shrink_to_fit();
+                table
             })
             .collect();
         Chord {

@@ -93,6 +93,192 @@ pub fn fig2_songs(n: usize) -> Vec<mqp_xml::Element> {
         .collect()
 }
 
+/// Capacity floors the scale PR committed to (`BENCH_scale.json`,
+/// written by `exp_scale --update` and enforced by
+/// `bench_report --check`): how many fully-materialized peers one GB of
+/// RSS must hold, and how many scheduler events per second the
+/// calendar queue must sustain.
+pub mod scale_gate {
+    /// Peers per GB of resident memory, fully materialized.
+    pub const PEERS_PER_GB_FLOOR: f64 = 100_000.0;
+    /// Calendar-queue events per second under the soak workload.
+    pub const EVENTS_PER_SEC_FLOOR: f64 = 1_000_000.0;
+}
+
+/// Memory and scheduler probes behind the scale sweep (`exp_scale`,
+/// DESIGN.md §10) and its CI gate (`bench_report --check`). Everything
+/// here separates cleanly into a deterministic part (event and peer
+/// counts) and a machine-dependent part (RSS, wall time) so the golden
+/// snapshots can keep the former and elide the latter.
+pub mod probe {
+    use std::time::Instant;
+
+    use mqp_net::{SimNet, Topology};
+    use mqp_workloads::scale::ScaleWorld;
+
+    /// Resident set size of this process in bytes (`VmRSS` from
+    /// `/proc/self/status`); `None` off Linux.
+    pub fn rss_bytes() -> Option<u64> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb * 1024)
+    }
+
+    /// Forces every peer in a lazy scale world into existence (the
+    /// honest denominator for a bytes-per-peer measurement) and returns
+    /// how many exist afterwards.
+    pub fn materialize_all(w: &mut ScaleWorld) -> usize {
+        for node in 0..w.harness.len() {
+            w.harness.peer_mut(node);
+        }
+        w.harness.materialized()
+    }
+
+    /// Calendar-queue soak: keeps `window` messages circulating among
+    /// `n` nodes until `target_events` scheduler events have been
+    /// processed, then lets the queue drain. Returns the exact event
+    /// count (deterministic) and the wall seconds it took (not).
+    pub fn scheduler_soak(n: usize, window: usize, target_events: u64) -> (u64, f64) {
+        let mut net: SimNet<u32> = SimNet::new(Topology::uniform(n, 1_000));
+        let t0 = Instant::now();
+        for i in 0..window {
+            net.send(i % n, (i + 1) % n, 16, 0);
+        }
+        while let Some(d) = net.step() {
+            if net.stats().events_processed < target_events {
+                // Deterministic pointer chase: a fixed odd stride visits
+                // every node, so the soak spreads across the topology.
+                net.send(d.to, (d.to + 7) % n, 16, d.payload.wrapping_add(1));
+            }
+        }
+        (net.stats().events_processed, t0.elapsed().as_secs_f64())
+    }
+}
+
+/// The measured capacity numbers behind `BENCH_scale.json`, shared by
+/// `exp_scale` (which prints and `--update`s them) and
+/// `bench_report --check` (which re-measures and gates them).
+pub mod scale_report {
+    use crate::probe;
+
+    /// One scale measurement: memory at full materialization plus the
+    /// scheduler soak.
+    pub struct ScaleReport {
+        /// Sellers in the probed world.
+        pub sellers: usize,
+        /// Total peers materialized (client + meta + indexes + sellers).
+        pub peers: usize,
+        /// RSS delta per peer; 0 when `/proc/self/status` is missing.
+        pub bytes_per_peer: f64,
+        /// 1 GB / bytes_per_peer.
+        pub peers_per_gb: f64,
+        /// Exact (deterministic) soak event count.
+        pub soak_events: u64,
+        /// Soak throughput (machine-dependent).
+        pub events_per_sec: f64,
+    }
+
+    /// Measures a fresh world. Call this *before* anything else
+    /// allocates heavily: freed allocations stay in the process RSS, so
+    /// a late delta undercounts and flatters bytes-per-peer.
+    pub fn measure(
+        sellers: usize,
+        soak_n: usize,
+        soak_window: usize,
+        soak_target: u64,
+    ) -> ScaleReport {
+        let (peers, bytes_per_peer, peers_per_gb) = {
+            let mut w = mqp_workloads::scale::build(mqp_workloads::scale::ScaleConfig {
+                sellers,
+                cities: 0,
+                seed: 0x5CA1E,
+            });
+            let before = probe::rss_bytes().unwrap_or(0);
+            let peers = probe::materialize_all(&mut w);
+            let after = probe::rss_bytes().unwrap_or(0);
+            let delta = after.saturating_sub(before);
+            if delta == 0 || peers == 0 {
+                (peers, 0.0, 0.0)
+            } else {
+                let per_peer = delta as f64 / peers as f64;
+                (peers, per_peer, 1e9 / per_peer)
+            }
+        };
+        let (soak_events, soak_wall) = probe::scheduler_soak(soak_n, soak_window, soak_target);
+        ScaleReport {
+            sellers,
+            peers,
+            bytes_per_peer,
+            peers_per_gb,
+            soak_events,
+            events_per_sec: if soak_wall > 0.0 {
+                soak_events as f64 / soak_wall
+            } else {
+                0.0
+            },
+        }
+    }
+
+    impl ScaleReport {
+        /// The `BENCH_scale.json` document.
+        pub fn to_json(&self) -> String {
+            use std::fmt::Write;
+            let mut out = String::new();
+            let mut section = |name: &str, fields: &[(&str, String)], last: bool| {
+                let _ = writeln!(out, "  \"{name}\": {{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    let comma = if i + 1 < fields.len() { "," } else { "" };
+                    let _ = writeln!(out, "    \"{k}\": {v}{comma}");
+                }
+                let _ = writeln!(out, "  }}{}", if last { "" } else { "," });
+            };
+            let f = |x: f64| format!("{x:.2}");
+            section(
+                "workload",
+                &[
+                    ("sellers", self.sellers.to_string()),
+                    ("peers", self.peers.to_string()),
+                ],
+                false,
+            );
+            section(
+                "memory",
+                &[
+                    ("bytes_per_peer", f(self.bytes_per_peer)),
+                    ("peers_per_gb", f(self.peers_per_gb)),
+                ],
+                false,
+            );
+            section(
+                "scheduler",
+                &[
+                    ("soak_events", self.soak_events.to_string()),
+                    ("events_per_sec", f(self.events_per_sec)),
+                ],
+                false,
+            );
+            section(
+                "floors",
+                &[
+                    ("peers_per_gb_min", f(crate::scale_gate::PEERS_PER_GB_FLOOR)),
+                    (
+                        "events_per_sec_min",
+                        f(crate::scale_gate::EVENTS_PER_SEC_FLOOR),
+                    ),
+                ],
+                true,
+            );
+            format!("{{\n  \"schema\": \"bench_scale/v1\",\n{out}}}\n")
+        }
+    }
+
+    /// Where the committed baseline lives (workspace root).
+    pub fn committed_path() -> std::path::PathBuf {
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json")
+    }
+}
+
 /// Mean of a slice.
 pub fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {

@@ -111,4 +111,5 @@ golden! {
     golden_provenance_spoofing => exp_provenance_spoofing,
     golden_index_detail_tradeoff => exp_index_detail_tradeoff,
     golden_churn_resilience => exp_churn_resilience,
+    golden_scale => exp_scale,
 }

@@ -1,0 +1,65 @@
+//! Resilience invariants at six-digit scale: the message-accounting
+//! identity (`sent = delivered + dropped + lost + in-flight`) must hold
+//! exactly after an adversarial run over a 100k-peer lazy world — with
+//! loss, duplication, retries, and seller churn all active — and the
+//! lazy harness must stay lazy while it happens.
+
+use mqp_net::{FaultPlan, NodeId};
+use mqp_peer::RetryPolicy;
+use mqp_workloads::scale::{build, ScaleConfig};
+
+#[test]
+fn accounting_identity_at_100k_peers() {
+    let mut w = build(ScaleConfig {
+        sellers: 100_000,
+        cities: 0,
+        seed: 7,
+    });
+    assert!(
+        w.harness.len() > 100_000,
+        "world too small: {}",
+        w.harness.len()
+    );
+
+    // Crash/rejoin schedule over the first thousand sellers, plus loss
+    // and duplication — every fault class that mutates the counters.
+    let eligible: Vec<NodeId> = (0..1_000).map(|s| w.seller_node(s)).collect();
+    w.harness.retry = Some(RetryPolicy {
+        timeout_us: 300_000,
+        max_retries: 3,
+    });
+    w.harness.net.set_fault_plan(
+        FaultPlan::new(7)
+            .with_loss(0.05)
+            .with_duplication(0.02)
+            .with_generated_churn(&eligible, 64, 60_000_000, 5_000_000),
+    );
+
+    for q in 0..8 {
+        let s = q * w.sellers / 8;
+        let plan = w.query(w.seller_city(s), w.seller_category(s));
+        w.harness.submit(w.client, plan);
+        w.harness.run(1_000_000);
+    }
+
+    let in_flight = w.harness.net.in_flight();
+    let stats = w.harness.net.stats();
+    assert!(stats.messages_sent > 0, "the run must exchange messages");
+    assert!(
+        stats.balances(in_flight),
+        "accounting identity violated at 100k peers: sent {} != delivered {} \
+         + dropped {} + lost {} + in-flight {in_flight}",
+        stats.messages_sent,
+        stats.messages_delivered,
+        stats.messages_dropped,
+        stats.messages_lost,
+    );
+    assert!(stats.events_processed >= stats.messages_delivered);
+
+    // Eight queries through 100k peers touch a few dozen of them.
+    let materialized = w.harness.materialized();
+    assert!(
+        materialized < 200,
+        "lazy world over-materialized: {materialized} peers"
+    );
+}

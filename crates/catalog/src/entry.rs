@@ -3,22 +3,29 @@
 use std::fmt;
 
 use mqp_namespace::InterestArea;
+use mqp_xml::Name;
 
 /// Identifies a peer. In the simulator this is a logical name
 /// (`"peer-17"`); the wire form of a server address is the URL
 /// `mqp://<id>/` so plan leaves can reference peers uniformly.
+///
+/// Backed by an interned [`Name`]: a 100k-peer world mentions every
+/// seller id in its own catalog, its city's index server, the global
+/// directory, and each travelling plan's provenance — one shared
+/// allocation instead of a `String` per mention, and `clone` is a
+/// reference-count bump.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ServerId(pub String);
+pub struct ServerId(Name);
 
 impl ServerId {
     /// Creates a server id.
-    pub fn new(s: impl Into<String>) -> Self {
-        ServerId(s.into())
+    pub fn new(s: impl AsRef<str>) -> Self {
+        ServerId(Name::new(s.as_ref()))
     }
 
     /// The id as a string.
     pub fn as_str(&self) -> &str {
-        &self.0
+        self.0.as_str()
     }
 
     /// URL form used in plan `url` leaves, e.g. `mqp://peer-17/`.
@@ -33,20 +40,26 @@ impl ServerId {
         if id.is_empty() {
             None
         } else {
-            Some(ServerId(id.to_owned()))
+            Some(ServerId(Name::new(id)))
         }
     }
 }
 
 impl fmt::Display for ServerId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.0.as_str())
     }
 }
 
 impl From<&str> for ServerId {
     fn from(s: &str) -> Self {
-        ServerId(s.to_owned())
+        ServerId(Name::new(s))
+    }
+}
+
+impl From<Name> for ServerId {
+    fn from(n: Name) -> Self {
+        ServerId(n)
     }
 }
 
@@ -158,7 +171,7 @@ impl CatalogEntry {
 
 impl From<String> for ServerId {
     fn from(s: String) -> Self {
-        ServerId(s)
+        ServerId(Name::new(&s))
     }
 }
 

@@ -2,6 +2,7 @@
 //! statements, the binding algorithm, routing, and the route cache.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use mqp_namespace::{InterestArea, Urn};
 
@@ -13,9 +14,15 @@ use crate::intension::IntensionalStatement;
 /// catalog, which we maintain locally at each peer. A catalog contains
 /// mappings from URNs to (sets of) URLs, or from URNs to servers that
 /// know how to resolve them.").
+///
+/// Entries are `Arc`-shared: in a large federation the same index- and
+/// meta-index entries are replicated into thousands of peer catalogs,
+/// so registration can hand the same allocation to every subscriber.
+/// Merging a re-registration copies-on-write ([`Arc::make_mut`]) only
+/// when the merge actually changes the entry.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    entries: Vec<CatalogEntry>,
+    entries: Vec<Arc<CatalogEntry>>,
     statements: Vec<IntensionalStatement>,
     /// Named-URN mappings: `urn:ForSale:Portland-CDs` → servers (+
     /// collection ids).
@@ -52,17 +59,34 @@ impl Catalog {
     /// `(server, level)`: a re-registration replaces the server's area
     /// at that level (areas are unioned — a server's declared interest
     /// can grow).
-    pub fn register(&mut self, entry: CatalogEntry) {
+    ///
+    /// Accepts an `Arc` so a world builder can share one allocation
+    /// across every catalog that learns the entry; a plain
+    /// [`CatalogEntry`] converts implicitly.
+    pub fn register(&mut self, entry: impl Into<Arc<CatalogEntry>>) {
+        let entry = entry.into();
         if let Some(existing) = self
             .entries
             .iter_mut()
             .find(|e| e.server == entry.server && e.level == entry.level)
         {
-            existing.area = existing.area.union(&entry.area);
-            existing.authoritative |= entry.authoritative;
-            if entry.collection.is_some() {
-                existing.collection = entry.collection;
+            let area = existing.area.union(&entry.area);
+            let authoritative = existing.authoritative || entry.authoritative;
+            let collection = entry
+                .collection
+                .clone()
+                .or_else(|| existing.collection.clone());
+            if area == existing.area
+                && authoritative == existing.authoritative
+                && collection == existing.collection
+            {
+                // Refresh with nothing new: keep sharing the allocation.
+                return;
             }
+            let e = Arc::make_mut(existing);
+            e.area = area;
+            e.authoritative = authoritative;
+            e.collection = collection;
         } else {
             self.entries.push(entry);
         }
@@ -98,7 +122,7 @@ impl Catalog {
     // ------------------------------------------------------------------
 
     /// All entries.
-    pub fn entries(&self) -> &[CatalogEntry] {
+    pub fn entries(&self) -> &[Arc<CatalogEntry>] {
         &self.entries
     }
 
@@ -143,6 +167,7 @@ impl Catalog {
             .entries
             .iter()
             .filter(|e| e.level == Level::Base && e.area.overlaps(area))
+            .map(|e| &**e)
             .collect();
         // Deterministic order: most specific first, then by id.
         v.sort_by(|a, b| {
@@ -245,7 +270,7 @@ impl Catalog {
                     && !exclude.contains(&e.server)
             })
             .max_by(|a, b| {
-                let cover = |e: &CatalogEntry| e.area.covers(area);
+                let cover = |e: &&Arc<CatalogEntry>| e.area.covers(area);
                 cover(a)
                     .cmp(&cover(b))
                     .then(a.area.specificity().cmp(&b.area.specificity()))

@@ -4,13 +4,20 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 
+use mqp_xml::Name;
+
 /// A path from a hierarchy's root to a category, e.g. `USA/OR/Portland`.
 /// The empty path is the all-inclusive top category `*` (paper §3.1).
 ///
 /// Paths are meaningful relative to a [`Hierarchy`]; [`CategoryPath`]
 /// itself is purely lexical so URN decoding can stay lexical (§3.4).
+///
+/// Segments are interned [`Name`]s: a federation of 100k peers repeats
+/// the same few hundred category names across every interest area,
+/// catalog entry, and query coordinate, so each distinct segment is one
+/// shared allocation and cloning a path bumps reference counts.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct CategoryPath(Vec<String>);
+pub struct CategoryPath(Vec<Name>);
 
 impl CategoryPath {
     /// The top category `*`.
@@ -19,7 +26,7 @@ impl CategoryPath {
     }
 
     /// Builds a path from segments.
-    pub fn new<S: Into<String>>(segments: impl IntoIterator<Item = S>) -> Self {
+    pub fn new<S: Into<Name>>(segments: impl IntoIterator<Item = S>) -> Self {
         CategoryPath(segments.into_iter().map(Into::into).collect())
     }
 
@@ -34,13 +41,13 @@ impl CategoryPath {
     }
 
     /// The path segments.
-    pub fn segments(&self) -> &[String] {
+    pub fn segments(&self) -> &[Name] {
         &self.0
     }
 
     /// Final segment, if any (`Portland` for `USA/OR/Portland`).
     pub fn leaf(&self) -> Option<&str> {
-        self.0.last().map(String::as_str)
+        self.0.last().map(Name::as_str)
     }
 
     /// The immediate parent (`USA/OR` for `USA/OR/Portland`); `None` for
@@ -54,7 +61,7 @@ impl CategoryPath {
     }
 
     /// Extends the path by one segment.
-    pub fn child(&self, segment: impl Into<String>) -> CategoryPath {
+    pub fn child(&self, segment: impl Into<Name>) -> CategoryPath {
         let mut v = self.0.clone();
         v.push(segment.into());
         CategoryPath(v)
@@ -109,7 +116,13 @@ impl fmt::Display for CategoryPath {
         if self.0.is_empty() {
             f.write_str("*")
         } else {
-            f.write_str(&self.0.join("/"))
+            for (i, seg) in self.0.iter().enumerate() {
+                if i > 0 {
+                    f.write_str("/")?;
+                }
+                f.write_str(seg.as_str())?;
+            }
+            Ok(())
         }
     }
 }
@@ -128,7 +141,7 @@ impl FromStr for CategoryPath {
         Ok(CategoryPath(
             s.split('/')
                 .filter(|p| !p.is_empty())
-                .map(str::to_owned)
+                .map(Name::new)
                 .collect(),
         ))
     }
@@ -151,7 +164,7 @@ pub struct Hierarchy {
     name: String,
     /// Every known category path (excluding the root), mapped to its
     /// children's leaf names. The root's children live under `top()`.
-    children: BTreeMap<CategoryPath, Vec<String>>,
+    children: BTreeMap<CategoryPath, Vec<Name>>,
 }
 
 impl Hierarchy {
@@ -202,7 +215,7 @@ impl Hierarchy {
     /// Leaf names of the immediate subcategories of `path` — the category
     /// server query of §3.2 ("What are the immediate subcategories of
     /// Furniture?").
-    pub fn subcategories(&self, path: &CategoryPath) -> &[String] {
+    pub fn subcategories(&self, path: &CategoryPath) -> &[Name] {
         self.children
             .get(path)
             .map(Vec::as_slice)

@@ -28,6 +28,7 @@
 //!   `ThreadedCluster` drives the same sans-IO peer protocol on real
 //!   OS threads.
 
+mod calendar;
 pub mod fault;
 pub mod sim;
 pub mod stats;

@@ -1,8 +1,8 @@
 //! The discrete-event simulator core.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
+use crate::calendar::{Calendar, Event};
 use crate::fault::{FaultPlan, FaultState};
 use crate::stats::NetStats;
 use crate::topology::Topology;
@@ -25,36 +25,6 @@ pub struct Delivery<P> {
     /// True for local timer events scheduled with [`SimNet::schedule`]
     /// — they carry no bytes and are invisible to message accounting.
     pub timer: bool,
-}
-
-/// Heap entry; ordered by (time, sequence) so ties break in send order —
-/// the property that makes runs reproducible.
-struct Event<P> {
-    at: u64,
-    seq: u64,
-    from: NodeId,
-    to: NodeId,
-    bytes: usize,
-    payload: P,
-    /// Timer events bypass fault injection and message accounting.
-    timer: bool,
-}
-
-impl<P> PartialEq for Event<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<P> Eq for Event<P> {}
-impl<P> PartialOrd for Event<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P> Ord for Event<P> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// A deterministic discrete-event network over a [`Topology`].
@@ -80,7 +50,7 @@ impl<P> Ord for Event<P> {
 /// byte-for-byte deterministic for a given seed and send sequence.
 pub struct SimNet<P> {
     topology: Topology,
-    queue: BinaryHeap<Reverse<Event<P>>>,
+    queue: Calendar<P>,
     now: u64,
     seq: u64,
     down: HashSet<NodeId>,
@@ -96,7 +66,7 @@ impl<P> SimNet<P> {
         let stats = NetStats::new(topology.len());
         SimNet {
             topology,
-            queue: BinaryHeap::new(),
+            queue: Calendar::new(),
             now: 0,
             seq: 0,
             down: HashSet::new(),
@@ -160,7 +130,7 @@ impl<P> SimNet<P> {
     /// injection, and are skipped silently (not counted as drops) if
     /// the node is down when they fire.
     pub fn schedule(&mut self, node: NodeId, delay_us: u64, payload: P) {
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             at: self.now + delay_us,
             seq: self.seq,
             from: node,
@@ -168,12 +138,13 @@ impl<P> SimNet<P> {
             bytes: 0,
             payload,
             timer: true,
-        }));
+        });
         self.seq += 1;
+        self.note_depth();
     }
 
     fn enqueue_msg(&mut self, at: u64, from: NodeId, to: NodeId, bytes: usize, payload: P) {
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             at,
             seq: self.seq,
             from,
@@ -181,9 +152,17 @@ impl<P> SimNet<P> {
             bytes,
             payload,
             timer: false,
-        }));
+        });
         self.seq += 1;
         self.in_flight += 1;
+        self.note_depth();
+    }
+
+    fn note_depth(&mut self) {
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.peak_queue_depth {
+            self.stats.peak_queue_depth = depth;
+        }
     }
 
     /// Delivers the next event, advancing the clock. Messages to down
@@ -194,7 +173,7 @@ impl<P> SimNet<P> {
         loop {
             // Apply churn that takes effect before (or exactly at) the
             // next event: a node crashed at t drops deliveries at t.
-            let next_at = self.queue.peek().map(|Reverse(e)| e.at)?;
+            let next_at = self.queue.peek_at()?;
             if let Some(f) = &mut self.faults {
                 for ev in f.churn_until(next_at) {
                     if ev.up {
@@ -204,8 +183,9 @@ impl<P> SimNet<P> {
                     }
                 }
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked above");
+            let ev = self.queue.pop().expect("peeked above");
             self.now = self.now.max(ev.at);
+            self.stats.events_processed += 1;
             if ev.timer {
                 if self.down.contains(&ev.to) {
                     continue; // dead node's timer: discard silently
@@ -503,6 +483,72 @@ mod tests {
         assert_eq!(st.messages_sent, 0);
         assert_eq!(st.messages_dropped, 0);
         assert_eq!(s.in_flight(), 0);
+    }
+
+    /// Payload that counts how many times it is cloned.
+    #[derive(Debug)]
+    struct CountClones(std::rc::Rc<std::cell::Cell<usize>>);
+
+    impl Clone for CountClones {
+        fn clone(&self) -> Self {
+            self.0.set(self.0.get() + 1);
+            CountClones(std::rc::Rc::clone(&self.0))
+        }
+    }
+
+    #[test]
+    fn duplicate_fault_path_clones_only_when_both_copies_fly() {
+        // Both fates are drawn before any copy is constructed, so a
+        // duplicate whose original is lost moves the payload instead of
+        // cloning it.
+        let clones = std::rc::Rc::new(std::cell::Cell::new(0));
+        let payload = || CountClones(std::rc::Rc::clone(&clones));
+
+        // No faults: never clones.
+        let mut s: SimNet<CountClones> = net_with(2, 100, None);
+        s.send(0, 1, 8, payload());
+        assert_eq!(s.drain(), 1);
+        assert_eq!(clones.get(), 0);
+
+        // Duplicate + original both fly: exactly one clone.
+        let mut s = net_with(2, 100, Some(FaultPlan::new(1).with_duplication(1.0)));
+        s.send(0, 1, 8, payload());
+        assert_eq!(s.drain(), 2);
+        assert_eq!(clones.get(), 1);
+
+        // Original lost, duplicate flies alone: zero clones.
+        let mut s = net_with(
+            2,
+            100,
+            Some(FaultPlan::new(1).with_duplication(1.0).with_loss(1.0)),
+        );
+        s.send(0, 1, 8, payload());
+        assert_eq!(s.drain(), 1);
+        assert_eq!(clones.get(), 1); // unchanged from the run above
+        assert!(s.stats().balances(s.in_flight()));
+    }
+
+    fn net_with(n: usize, lat: u64, plan: Option<FaultPlan>) -> SimNet<CountClones> {
+        let mut s = SimNet::new(Topology::uniform(n, lat));
+        if let Some(p) = plan {
+            s.set_fault_plan(p);
+        }
+        s
+    }
+
+    #[test]
+    fn events_processed_and_peak_depth_counters() {
+        let mut s = net(3, 100);
+        s.send(0, 1, 1, 1);
+        s.send(0, 2, 1, 2);
+        s.schedule(1, 50, 9);
+        assert_eq!(s.stats().peak_queue_depth, 3);
+        s.fail(2); // the message to 2 will be dropped, still an event
+        assert_eq!(s.drain(), 2); // timer + delivery to node 1
+        let st = s.stats();
+        assert_eq!(st.events_processed, 3);
+        assert_eq!(st.messages_dropped, 1);
+        assert!(st.balances(s.in_flight()));
     }
 
     #[test]

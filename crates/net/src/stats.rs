@@ -34,6 +34,14 @@ pub struct NetStats {
     pub bytes_sent: u64,
     /// Total payload bytes delivered.
     pub bytes_delivered: u64,
+    /// Events popped from the scheduler: deliveries, drops, and timer
+    /// firings alike. The scheduler-throughput numerator for
+    /// `exp_scale`'s events/sec metric.
+    pub events_processed: u64,
+    /// High-water mark of the scheduler queue (messages + timers
+    /// simultaneously pending) — the population the calendar queue must
+    /// keep O(1) at 100k+ peers.
+    pub peak_queue_depth: u64,
     /// Per-node (sent, received) message counts; indexed by node id.
     pub per_node: Vec<(u64, u64)>,
 }

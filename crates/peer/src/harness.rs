@@ -51,11 +51,27 @@ pub enum SimMsg {
     Tick,
 }
 
+/// How a lazy harness builds the peer for a node the first time it is
+/// touched (submitted at, or delivered a message).
+pub type PeerFactory = Box<dyn FnMut(NodeId) -> Peer>;
+
 /// A population of peers on a simulated network.
+///
+/// Peers materialize lazily when built with [`SimHarness::lazy`]: the
+/// harness allocates one pointer-sized slot per node, and a node's
+/// [`PeerNode`] (store, catalog, processor) is constructed by the
+/// factory the first time the node acts. World setup for a 100k-peer
+/// experiment is then O(nodes that actually participate), not O(world).
+/// [`SimHarness::new`] materializes everything up front, preserving the
+/// original eager behavior exactly.
 pub struct SimHarness {
     /// The network (exposed for failure injection and stats).
     pub net: SimNet<SimMsg>,
-    nodes: Vec<PeerNode>,
+    nodes: Vec<Option<Box<PeerNode>>>,
+    /// Materialized node ids, in materialization order: the broadcast
+    /// set for `mark_done` and config pushes.
+    live: Vec<NodeId>,
+    factory: Option<PeerFactory>,
     directory: Arc<Directory>,
     pending: HashSet<QueryId>,
     completed: Vec<QueryOutcome>,
@@ -82,14 +98,17 @@ impl SimHarness {
         let directory = Arc::new(Directory::new(
             peers.iter().map(|p| p.id().clone()).collect(),
         ));
-        let nodes = peers
+        let nodes: Vec<Option<Box<PeerNode>>> = peers
             .into_iter()
             .enumerate()
-            .map(|(i, p)| PeerNode::new(i, p, Arc::clone(&directory)))
+            .map(|(i, p)| Some(Box::new(PeerNode::new(i, p, Arc::clone(&directory)))))
             .collect();
+        let live = (0..nodes.len()).collect();
         SimHarness {
             net: SimNet::new(topology),
             nodes,
+            live,
+            factory: None,
             directory,
             pending: HashSet::new(),
             completed: Vec::new(),
@@ -98,6 +117,67 @@ impl SimHarness {
             retry: None,
             watch_holder: HashMap::new(),
         }
+    }
+
+    /// Builds a lazy harness: no peer exists until its node first acts.
+    /// The directory supplies every node's id up front (names are
+    /// addressing configuration, not state); `factory` builds node
+    /// `i`'s peer on first touch and must produce the id
+    /// `directory.id_of(i)`.
+    pub fn lazy(
+        topology: Topology,
+        directory: Directory,
+        factory: impl FnMut(NodeId) -> Peer + 'static,
+    ) -> Self {
+        assert_eq!(
+            topology.len(),
+            directory.len(),
+            "topology size must match directory size"
+        );
+        let n = directory.len();
+        SimHarness {
+            net: SimNet::new(topology),
+            nodes: (0..n).map(|_| None).collect(),
+            live: Vec::new(),
+            factory: Some(Box::new(factory)),
+            directory: Arc::new(directory),
+            pending: HashSet::new(),
+            completed: Vec::new(),
+            next_qid: 0,
+            cache_learning: false,
+            retry: None,
+            watch_holder: HashMap::new(),
+        }
+    }
+
+    /// Materializes (if needed) and returns the protocol node at `node`.
+    fn ensure(&mut self, node: NodeId) -> &mut PeerNode {
+        if self.nodes[node].is_none() {
+            let factory = self
+                .factory
+                .as_mut()
+                .expect("node not materialized and no factory installed");
+            let peer = factory(node);
+            debug_assert_eq!(
+                *peer.id(),
+                self.directory.id_of(node),
+                "factory produced a peer whose id disagrees with the directory"
+            );
+            let mut pn = Box::new(PeerNode::new(node, peer, Arc::clone(&self.directory)));
+            pn.set_retry(self.retry);
+            pn.set_cache_learning(self.cache_learning);
+            self.nodes[node] = Some(pn);
+            self.live.push(node);
+        }
+        self.nodes[node].as_mut().expect("just materialized")
+    }
+
+    /// Number of peers actually constructed so far (equals [`len`] for
+    /// eager harnesses).
+    ///
+    /// [`len`]: SimHarness::len
+    pub fn materialized(&self) -> usize {
+        self.live.len()
     }
 
     /// Installs a fault plan on the underlying network; returns `self`
@@ -118,20 +198,26 @@ impl SimHarness {
         self.directory.node_of(id)
     }
 
-    /// Peer by node id.
+    /// Peer by node id. Panics on a lazy harness if the node has not
+    /// materialized yet — use [`SimHarness::peer_mut`] to force it.
     pub fn peer(&self, node: NodeId) -> &Peer {
-        self.nodes[node].peer()
+        self.nodes[node]
+            .as_ref()
+            .expect("peer not materialized; touch it via peer_mut first")
+            .peer()
     }
 
-    /// Mutable peer by node id.
+    /// Mutable peer by node id (materializes lazily).
     pub fn peer_mut(&mut self, node: NodeId) -> &mut Peer {
-        self.nodes[node].peer_mut()
+        self.ensure(node).peer_mut()
     }
 
     /// Protocol node by node id (driver-level access for tests and
-    /// custom hosts).
+    /// custom hosts). Panics on an unmaterialized lazy node.
     pub fn node(&self, node: NodeId) -> &PeerNode {
-        &self.nodes[node]
+        self.nodes[node]
+            .as_ref()
+            .expect("node not materialized; touch it via peer_mut first")
     }
 
     /// Number of peers.
@@ -148,7 +234,7 @@ impl SimHarness {
     /// node. Cheap; called at each submit/run so tests can flip the
     /// fields between calls, as they always could.
     fn sync_config(&mut self) {
-        for n in &mut self.nodes {
+        for n in self.nodes.iter_mut().flatten() {
             n.set_retry(self.retry);
             n.set_cache_learning(self.cache_learning);
         }
@@ -168,7 +254,7 @@ impl SimHarness {
     pub fn pull_registrations(&mut self, index: NodeId, from: &[NodeId]) -> usize {
         let mut pulled = 0;
         for &node in from {
-            let entry = self.nodes[node].peer().base_entry();
+            let entry = self.ensure(node).peer().base_entry();
             if entry.area.is_empty() {
                 continue;
             }
@@ -177,7 +263,7 @@ impl SimHarness {
             // peer learns a route), and the base server replies with
             // its entry.
             let intro =
-                CatalogEntry::index(self.nodes[index].peer().id().clone(), entry.area.clone());
+                CatalogEntry::index(self.ensure(index).peer().id().clone(), entry.area.clone());
             self.send_registration(index, node, intro);
             self.send_registration(node, index, entry);
             pulled += 1;
@@ -194,7 +280,7 @@ impl SimHarness {
         self.next_qid += 1;
         self.pending.insert(qid);
         let now = self.net.now();
-        let effects = self.nodes[client].submit(qid, plan, now);
+        let effects = self.ensure(client).submit(qid, plan, now);
         self.apply(client, effects);
         qid
     }
@@ -212,8 +298,8 @@ impl SimHarness {
             let at = delivery.at;
             let to = delivery.to;
             let effects = match delivery.payload {
-                SimMsg::Wire(bytes) => self.nodes[to].on_message(delivery.from, &bytes, at),
-                SimMsg::Tick => self.nodes[to].on_tick(at),
+                SimMsg::Wire(bytes) => self.ensure(to).on_message(delivery.from, &bytes, at),
+                SimMsg::Tick => self.ensure(to).on_tick(at),
             };
             self.apply(to, effects);
         }
@@ -235,7 +321,7 @@ impl SimHarness {
                     // cancels the previous holder's watch.
                     if let Some(&holder) = self.watch_holder.get(&qid) {
                         if holder != node {
-                            self.nodes[holder].cancel_watch(qid);
+                            self.ensure(holder).cancel_watch(qid);
                         }
                     }
                     self.watch_holder.insert(qid, node);
@@ -245,7 +331,7 @@ impl SimHarness {
                 Effect::Ack { to, qid } => {
                     // Delivery is the ack in the simulator: apply it
                     // directly, free of charge.
-                    self.nodes[to].on_ack(node, qid);
+                    self.ensure(to).on_ack(node, qid);
                 }
                 Effect::Retried { .. } => {
                     self.net.stats_mut().retries += 1;
@@ -256,8 +342,11 @@ impl SimHarness {
                     self.watch_holder.remove(&qid);
                     // Completion is global knowledge here: no node may
                     // keep (or re-arm) a watch for a finished query.
-                    for n in &mut self.nodes {
-                        n.mark_done(qid);
+                    // Unmaterialized nodes never acted, so they cannot
+                    // hold a watch: broadcasting to the live set keeps
+                    // this O(participants) in a lazy world.
+                    for &i in &self.live {
+                        self.nodes[i].as_mut().expect("live node").mark_done(qid);
                     }
                     if self.pending.remove(&qid) {
                         self.completed.push(outcome);
@@ -520,6 +609,77 @@ mod tests {
         assert_eq!(titles, ["A", "C"]);
         assert!(q.retries >= 1);
         assert_eq!(q.audit_clean, Some(true));
+    }
+}
+
+#[cfg(test)]
+mod lazy_tests {
+    use super::*;
+    use mqp_algebra::plan::Plan;
+    use mqp_namespace::{Hierarchy, InterestArea, Namespace, Urn};
+    use mqp_xml::parse;
+
+    fn ns() -> Namespace {
+        Namespace::new([
+            Hierarchy::new("Location").with(["USA/OR/Portland"]),
+            Hierarchy::new("Merchandise").with(["Music/CDs"]),
+        ])
+    }
+
+    fn pdx_cds() -> InterestArea {
+        InterestArea::parse(&[&["USA/OR/Portland", "Music/CDs"]])
+    }
+
+    /// 2 named peers (client, idx) + 4 scheme-named sellers, built on
+    /// demand. Only seller-0 is indexed, so sellers 1..4 never
+    /// materialize.
+    #[test]
+    fn lazy_world_materializes_only_participants() {
+        let shared_ns = Arc::new(ns());
+        let dir = Directory::with_generated_tail(
+            vec![ServerId::new("client"), ServerId::new("idx")],
+            "seller-",
+            4,
+        );
+        assert_eq!(dir.len(), 6);
+        assert_eq!(dir.id_of(0), ServerId::new("client"));
+        assert_eq!(dir.id_of(3), ServerId::new("seller-1"));
+        assert_eq!(dir.node_of(&ServerId::new("seller-3")), Some(5));
+        assert_eq!(dir.node_of(&ServerId::new("seller-4")), None);
+        assert_eq!(dir.node_of(&ServerId::new("seller-01")), None);
+
+        let mut h = SimHarness::lazy(Topology::uniform(6, 1_000), dir, move |node| match node {
+            0 => Peer::new("client", Arc::clone(&shared_ns)).with_default_route("idx"),
+            1 => {
+                let mut idx = Peer::new("idx", Arc::clone(&shared_ns));
+                idx.catalog_mut()
+                    .register(CatalogEntry::base("seller-0", pdx_cds()));
+                idx
+            }
+            n => {
+                let mut s = Peer::new(format!("seller-{}", n - 2), Arc::clone(&shared_ns));
+                s.add_collection(
+                    "cds",
+                    pdx_cds(),
+                    [parse("<item><title>A</title><price>8</price></item>").unwrap()],
+                );
+                s
+            }
+        });
+        assert_eq!(h.materialized(), 0);
+        let plan = Plan::select(
+            "price < 10",
+            Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds()))),
+        );
+        h.submit(0, plan);
+        h.run(1_000);
+        let done = h.completed();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].failure.is_none(), "{:?}", done[0].failure);
+        assert_eq!(done[0].items.len(), 1);
+        // client + idx + seller-0 acted; sellers 1..4 were never built.
+        assert_eq!(h.materialized(), 3);
+        assert_eq!(h.len(), 6);
     }
 }
 

@@ -60,10 +60,20 @@ impl Default for RetryPolicy {
 /// configuration (who sits where), not distributed state: both drivers
 /// build it once at startup, exactly as a deployment would distribute a
 /// membership list.
+///
+/// Two representations coexist: an explicit head of named peers
+/// (clients, index servers, …) and an optional *generated tail* whose
+/// ids follow a `<prefix><k>` scheme. A 1M-seller world stores the
+/// handful of head ids plus one prefix string — O(named) memory —
+/// instead of a million `ServerId`s and a million hash-map slots.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    ids: Vec<ServerId>,
+    named: Vec<ServerId>,
     index: HashMap<ServerId, NodeId>,
+    /// When set, nodes `named.len()..len` are named `<prefix><k>` with
+    /// `k` counting from zero.
+    tail_prefix: Option<String>,
+    len: usize,
 }
 
 impl Directory {
@@ -74,27 +84,66 @@ impl Directory {
             .enumerate()
             .map(|(i, id)| (id.clone(), i))
             .collect();
-        Directory { ids, index }
+        let len = ids.len();
+        Directory {
+            named: ids,
+            index,
+            tail_prefix: None,
+            len,
+        }
+    }
+
+    /// A directory with `named` explicit peers at the head and `tail`
+    /// scheme-named peers after them: node `named.len() + k` is
+    /// `"<prefix><k>"`. The tail is never materialized.
+    pub fn with_generated_tail(
+        named: Vec<ServerId>,
+        prefix: impl Into<String>,
+        tail: usize,
+    ) -> Self {
+        let mut d = Directory::new(named);
+        d.tail_prefix = Some(prefix.into());
+        d.len += tail;
+        d
     }
 
     /// Transport address of a peer.
     pub fn node_of(&self, id: &ServerId) -> Option<NodeId> {
-        self.index.get(id).copied()
+        if let Some(&n) = self.index.get(id) {
+            return Some(n);
+        }
+        let prefix = self.tail_prefix.as_deref()?;
+        let digits = id.as_str().strip_prefix(prefix)?;
+        if digits.len() > 1 && digits.starts_with('0') {
+            return None; // non-canonical: id_of never emits leading zeros
+        }
+        let k: usize = digits.parse().ok()?;
+        let node = self.named.len().checked_add(k)?;
+        (node < self.len).then_some(node)
     }
 
-    /// Peer name at an address.
-    pub fn id_of(&self, node: NodeId) -> &ServerId {
-        &self.ids[node]
+    /// Peer name at an address. Tail names are generated on demand, so
+    /// this returns an owned (cheaply cloned, interned) id.
+    pub fn id_of(&self, node: NodeId) -> ServerId {
+        if let Some(id) = self.named.get(node) {
+            return id.clone();
+        }
+        assert!(node < self.len, "node {node} out of directory range");
+        let prefix = self
+            .tail_prefix
+            .as_deref()
+            .expect("node beyond named ids in a directory with no generated tail");
+        ServerId::new(format!("{prefix}{}", node - self.named.len()))
     }
 
     /// Number of peers.
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.len == 0
     }
 }
 
@@ -345,7 +394,7 @@ impl PeerNode {
                 continue;
             }
             if w.attempts >= policy.max_retries {
-                let dead = self.directory.id_of(w.to).clone();
+                let dead = self.directory.id_of(w.to);
                 effects.push(Effect::Complete(mk_outcome(
                     w.qid,
                     frame_meter(&w.frame),
@@ -363,7 +412,7 @@ impl PeerNode {
             match w.frame {
                 Frame::Mqp(mut mf) => {
                     let mut mqp = Mqp::from_wire(&mf.envelope).expect("tracked envelope reparses");
-                    let dead = self.directory.id_of(w.to).clone();
+                    let dead = self.directory.id_of(w.to);
                     // §4.2 fallback: drop Or-alternatives that require
                     // the dead server (when others survive), then
                     // re-route.
@@ -671,7 +720,7 @@ mod tests {
     }
 
     fn seller_node(node: NodeId, dir: &Arc<Directory>) -> PeerNode {
-        let mut p = Peer::new(dir.id_of(node).as_str(), ns());
+        let mut p = Peer::new(dir.id_of(node), ns());
         p.add_collection(
             "cds",
             pdx_cds(),

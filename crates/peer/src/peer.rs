@@ -2,6 +2,7 @@
 //! `ServerContext`.
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use mqp_algebra::plan::{Plan, UrlRef, UrnRef};
 use mqp_catalog::{Catalog, CatalogEntry, ServerId};
@@ -17,7 +18,9 @@ pub struct Peer {
     id: ServerId,
     store: LocalStore,
     catalog: Catalog,
-    namespace: Namespace,
+    /// Shared: every peer in a world references the same namespace, so
+    /// 100k peers hold 100k `Arc` pointers, not 100k hierarchy copies.
+    namespace: Arc<Namespace>,
     processor: Processor,
     /// Last-resort route when the catalog knows nothing (the hardwired
     /// bootstrap server of §3.2).
@@ -27,13 +30,15 @@ pub struct Peer {
 }
 
 impl Peer {
-    /// Creates a peer with an empty store and catalog.
-    pub fn new(id: impl Into<ServerId>, namespace: Namespace) -> Self {
+    /// Creates a peer with an empty store and catalog. Pass an
+    /// `Arc<Namespace>` to share one namespace across peers (a plain
+    /// [`Namespace`] converts implicitly).
+    pub fn new(id: impl Into<ServerId>, namespace: impl Into<Arc<Namespace>>) -> Self {
         Peer {
             id: id.into(),
             store: LocalStore::new(),
             catalog: Catalog::new(),
-            namespace,
+            namespace: namespace.into(),
             processor: Processor::default(),
             default_route: None,
             clock_us: Cell::new(0),

@@ -21,3 +21,4 @@
 pub mod cd;
 pub mod garage;
 pub mod gene;
+pub mod scale;

@@ -166,6 +166,24 @@ impl PartialEq for Name {
 
 impl Eq for Name {}
 
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Content order (same as `str`), with the usual pointer-equality
+        // fast path for pooled names.
+        if Arc::ptr_eq(&self.0, &other.0) {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
 impl Hash for Name {
     fn hash<H: Hasher>(&self, state: &mut H) {
         // Must agree with `str::hash` for the `Borrow<str>` contract.
