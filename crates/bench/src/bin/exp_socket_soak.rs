@@ -1,0 +1,232 @@
+//! E13 — socket soak: the real-TCP driver (`mqp_peer::tcp`) serving a
+//! sustained query stream across hundreds of peers while peers are
+//! killed and restarted under it (DESIGN.md §11).
+//!
+//! The world is the paper's market: a client peer, a meta index, and
+//! seller *pairs* — two sellers registered per city, so every Or query
+//! over a pair has a live alternative when one member is down. The
+//! churn schedule kills exactly one seller at a time, always the even
+//! member of a first-half pair, and restarts it at the next window
+//! boundary; queries that hit the dead seller must complete anyway via
+//! the protocol's own timeout → §4.2 Or-prune → re-route machinery,
+//! unchanged from the simulator.
+//!
+//! The workload interleaves three shapes round-robin:
+//!
+//! * **Or-pair** — `or(url even, url odd)` over every pair in turn;
+//!   the only shape that ever meets the dead seller, by design.
+//! * **URL** — direct to an odd (never-killed) seller.
+//! * **area** — a city URN over a second-half (never-churned) pair,
+//!   resolved at the meta index, answered by both members.
+//!
+//! Every query must complete (zero failures), every completion must be
+//! §5.1 audit-clean, and after shutdown the transport's frame
+//! accounting identity must balance exactly — enforced here, summarized
+//! in the `socket` section of `BENCH_threaded.json` at full scale, and
+//! gated by `bench_report --check-socket`. The CI `socket-smoke` job
+//! runs this at `MQP_EXP_SCALE=golden`, twice, byte-identical
+//! (timing-dependent counters are elided at golden scale).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use mqp_algebra::plan::{Plan, UrnRef};
+use mqp_bench::{f2, fmt_ms, golden_scale, json_merge, print_table};
+use mqp_core::QueryOutcome;
+use mqp_namespace::{Hierarchy, InterestArea, Namespace, Urn};
+use mqp_peer::node::RetryPolicy;
+use mqp_peer::tcp::{TcpCluster, TcpConfig};
+use mqp_peer::Peer;
+use mqp_xml::Element;
+
+/// Maximum queries in flight; submission pauses to collect past this.
+const WINDOW: usize = 64;
+
+fn city(p: usize) -> String {
+    format!("USA/City-{p:03}")
+}
+
+fn area(p: usize) -> InterestArea {
+    InterestArea::parse(&[&[city(p).as_str(), "Music/CDs"]])
+}
+
+fn namespace(pairs: usize) -> Namespace {
+    let mut loc = Hierarchy::new("Location");
+    for p in 0..pairs {
+        loc.add(city(p).as_str());
+    }
+    Namespace::new([loc, Hierarchy::new("Merchandise").with(["Music/CDs"])])
+}
+
+/// client (node 0), meta (node 1), then seller `j` at node `2 + j`;
+/// sellers `2p` and `2p + 1` share city `p`.
+fn world(pairs: usize) -> Vec<Peer> {
+    let ns = namespace(pairs);
+    let client = Peer::new("client", ns.clone()).with_default_route("meta");
+    let mut meta = Peer::new("meta", ns.clone());
+    let mut sellers = Vec::with_capacity(2 * pairs);
+    for j in 0..2 * pairs {
+        let mut s = Peer::new(format!("seller-{j}"), ns.clone());
+        s.add_collection(
+            "cds",
+            area(j / 2),
+            [Element::new("item")
+                .child(Element::new("title").text(format!("Album-{j:04}")))
+                .child(Element::new("price").text(format!("{}.99", j % 40)))],
+        );
+        meta.catalog_mut().register(s.base_entry());
+        sellers.push(s);
+    }
+    let mut peers = vec![client, meta];
+    peers.extend(sellers);
+    peers
+}
+
+/// Node id of the even seller of pair `p` — the only kind of peer the
+/// churn schedule ever kills.
+fn victim(p: usize) -> usize {
+    2 + 2 * p
+}
+
+/// The `i`-th query of the stream. Or-pair queries cycle all pairs (and
+/// so periodically meet the dead seller); URL and area queries only
+/// name peers the schedule never kills, keeping their completion
+/// independent of churn timing.
+fn plan_for(i: usize, pairs: usize) -> Plan {
+    let p = (i / 3) % pairs;
+    match i % 3 {
+        0 => Plan::or([
+            Plan::url(format!("mqp://seller-{}/", 2 * p)),
+            Plan::url(format!("mqp://seller-{}/", 2 * p + 1)),
+        ]),
+        1 => Plan::url(format!("mqp://seller-{}/", 2 * p + 1)),
+        _ => Plan::Urn(UrnRef::new(Urn::area(area(
+            pairs / 2 + p % (pairs - pairs / 2),
+        )))),
+    }
+}
+
+fn main() {
+    let golden = golden_scale();
+    let pairs = if golden { 10 } else { 124 };
+    let queries = if golden { 240 } else { 20_000 };
+    let churn_every = if golden { 30 } else { 500 };
+    let peers = 2 + 2 * pairs;
+    let first_half = pairs / 2;
+
+    let cfg = TcpConfig {
+        retry: Some(RetryPolicy {
+            timeout_us: 250_000,
+            max_retries: 8,
+        }),
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(100),
+        ..TcpConfig::default()
+    };
+    let (cluster, mut client) = TcpCluster::with_config(world(pairs), cfg);
+
+    let start = Instant::now();
+    let mut done: Vec<QueryOutcome> = Vec::with_capacity(queries);
+    let mut downed: Option<usize> = None;
+    let mut kills = 0u64;
+    for i in 0..queries {
+        if i % churn_every == 0 {
+            // One peer down at a time: the previous victim rejoins
+            // (fresh port, same protocol state) before the next falls.
+            if let Some(v) = downed.take() {
+                cluster.restart(v);
+            }
+            let v = victim(kills as usize % first_half);
+            cluster.kill(v);
+            downed = Some(v);
+            kills += 1;
+        }
+        client.submit(0, &plan_for(i, pairs));
+        while i + 1 - done.len() >= WINDOW {
+            done.extend(client.collect(1, Duration::from_secs(60)));
+        }
+    }
+    if let Some(v) = downed.take() {
+        cluster.restart(v);
+    }
+    done.extend(client.collect(queries - done.len(), Duration::from_secs(120)));
+    let wall = start.elapsed();
+    let stats = cluster.shutdown(&mut client);
+
+    let completed = done.len();
+    let failed = done.iter().filter(|q| q.failure.is_some()).count();
+    let clean = done.iter().filter(|q| q.audit_clean == Some(true)).count();
+    let clean_pct = 100.0 * clean as f64 / completed.max(1) as f64;
+    let retries: u64 = done.iter().map(|q| q.retries).sum();
+    let balanced = stats.balances(0);
+    let dropped = stats.dropped_backpressure + stats.dropped_disconnected + stats.abandoned;
+    let qps = completed as f64 / wall.as_secs_f64();
+
+    // Timing-dependent counters are elided at golden scale so the CI
+    // socket-smoke double run is byte-identical.
+    let nat = |v: u64| {
+        if golden {
+            "-".to_owned()
+        } else {
+            v.to_string()
+        }
+    };
+    print_table(
+        &format!("socket soak: {peers} peers, {queries} queries, kill/restart churn"),
+        &["metric", "value"],
+        &[
+            vec!["peers".into(), peers.to_string()],
+            vec!["queries".into(), queries.to_string()],
+            vec!["window".into(), WINDOW.to_string()],
+            vec!["churn_every".into(), churn_every.to_string()],
+            vec!["kills".into(), kills.to_string()],
+            vec!["completed".into(), completed.to_string()],
+            vec!["failed".into(), failed.to_string()],
+            vec!["audit_clean_pct".into(), f2(clean_pct)],
+            vec![
+                "balanced".into(),
+                if balanced { "yes" } else { "no" }.into(),
+            ],
+            vec!["retries".into(), nat(retries)],
+            vec!["connects".into(), nat(stats.connects)],
+            vec!["frames_sent".into(), nat(stats.frames_sent)],
+            vec!["dropped".into(), nat(dropped)],
+            vec!["wall_ms".into(), fmt_ms(wall.as_secs_f64() * 1e3)],
+            vec!["throughput_qps".into(), fmt_ms(qps)],
+        ],
+    );
+    println!(
+        "\nshape check (DESIGN.md §11): every query completes over real \
+         sockets despite {kills} kills — Or queries detour around the dead \
+         seller via the protocol's own timeout/prune/re-route machinery, \
+         audit-clean, and the transport's frame accounting identity \
+         balances exactly after shutdown."
+    );
+
+    assert_eq!(completed, queries, "soak stranded queries");
+    assert_eq!(failed, 0, "soak queries failed");
+    assert_eq!(clean, completed, "soak completions not all audit-clean");
+    assert!(balanced, "frame accounting identity broken: {stats:?}");
+
+    if !golden {
+        let mut sock = String::from("{\n");
+        let _ = writeln!(sock, "    \"peers\": {peers},");
+        let _ = writeln!(sock, "    \"queries\": {queries},");
+        let _ = writeln!(sock, "    \"completed\": {completed},");
+        let _ = writeln!(sock, "    \"failed\": {failed},");
+        let _ = writeln!(sock, "    \"audit_clean_pct\": {clean_pct:.2},");
+        let _ = writeln!(sock, "    \"balanced\": {},", i32::from(balanced));
+        let _ = writeln!(sock, "    \"kills\": {kills},");
+        let _ = writeln!(sock, "    \"retries\": {retries},");
+        let _ = writeln!(sock, "    \"connects\": {},", stats.connects);
+        let _ = writeln!(sock, "    \"frames_sent\": {},", stats.frames_sent);
+        let _ = writeln!(sock, "    \"throughput_qps\": {qps:.2}");
+        sock.push_str("  }");
+        let path =
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_threaded.json");
+        let doc = std::fs::read_to_string(&path).unwrap_or_else(|_| "{\n}\n".to_owned());
+        std::fs::write(&path, json_merge::upsert_section(&doc, "socket", &sock))
+            .expect("write BENCH_threaded.json");
+        println!("\nwrote socket section to {}", path.display());
+    }
+}

@@ -279,6 +279,95 @@ pub mod scale_report {
     }
 }
 
+/// Line-based section surgery for the committed `BENCH_*.json`
+/// trajectory files.
+///
+/// Those files are written by independent experiment binaries but share
+/// one document, so a binary that regenerates *its* sections must carry
+/// the others' forward untouched. The files follow a fixed house shape
+/// — top-level braces at column 0, each section object opened by
+/// `  "name": {` and closed by `  }` at two-space indent — which makes
+/// exact line matching both sufficient and byte-stable, where a parse →
+/// re-serialize round trip would reformat sections it never meant to
+/// touch.
+pub mod json_merge {
+    /// Extracts the named top-level section as its object literal,
+    /// exactly as it appears in the file (braces included, inner lines
+    /// at their original indent). `None` if the section is absent.
+    pub fn section(text: &str, name: &str) -> Option<String> {
+        let lines: Vec<&str> = text.lines().collect();
+        let (start, end) = span(&lines, name)?;
+        let mut out = String::from("{\n");
+        for l in &lines[start + 1..end] {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out.push_str("  }");
+        Some(out)
+    }
+
+    /// Returns the document with the named section removed (and the
+    /// trailing comma of the new last member fixed up). A no-op if the
+    /// section is absent.
+    pub fn remove_section(text: &str, name: &str) -> String {
+        let lines: Vec<&str> = text.lines().collect();
+        let Some((start, end)) = span(&lines, name) else {
+            return text.to_owned();
+        };
+        let mut kept: Vec<String> = lines[..start].iter().map(|s| s.to_string()).collect();
+        kept.extend(lines[end + 1..].iter().map(|s| s.to_string()));
+        // JSON forbids a trailing comma before the closing brace; if
+        // the removed section was the last member, strip its
+        // predecessor's comma.
+        if let Some(close) = kept.iter().rposition(|l| l == "}") {
+            if close > 0 && kept[close - 1].ends_with(',') {
+                let fixed = kept[close - 1].trim_end_matches(',').to_owned();
+                kept[close - 1] = fixed;
+            }
+        }
+        kept.join("\n") + "\n"
+    }
+
+    /// Inserts (or replaces) the named section as the *last* member of
+    /// the top-level object. `object` is an object literal in the shape
+    /// [`section`] returns: `{`, inner lines at four-space indent, and
+    /// a closing `  }`.
+    pub fn upsert_section(text: &str, name: &str, object: &str) -> String {
+        let without = remove_section(text, name);
+        let mut lines: Vec<String> = without.lines().map(|s| s.to_owned()).collect();
+        let Some(close) = lines.iter().rposition(|l| l == "}") else {
+            // Not in the house shape; start a fresh document.
+            return upsert_section("{\n}\n", name, object);
+        };
+        if close > 0 {
+            let prev = &lines[close - 1];
+            if prev != "{" && !prev.ends_with(',') {
+                let with_comma = format!("{prev},");
+                lines[close - 1] = with_comma;
+            }
+        }
+        let mut insert = Vec::new();
+        let mut obj = object.lines();
+        insert.push(format!("  \"{name}\": {}", obj.next().unwrap_or("{")));
+        insert.extend(obj.map(|l| l.to_owned()));
+        lines.splice(close..close, insert);
+        lines.join("\n") + "\n"
+    }
+
+    /// Start/end line indexes of `  "name": {` … `  }`/`  },`.
+    fn span(lines: &[&str], name: &str) -> Option<(usize, usize)> {
+        let open = format!("  \"{name}\": {{");
+        let start = lines.iter().position(|&l| l == open)?;
+        let end = lines
+            .iter()
+            .enumerate()
+            .skip(start + 1)
+            .find(|(_, &l)| l == "  }" || l == "  },")
+            .map(|(i, _)| i)?;
+        Some((start, end))
+    }
+}
+
 /// Mean of a slice.
 pub fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
@@ -301,6 +390,44 @@ mod tests {
     fn mean_empty_and_values() {
         assert_eq!(mean(&[]), 0.0);
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    const DOC: &str = "{\n  \"queries\": 480,\n  \"serviced\": {\n    \"qps_1\": 479.69,\n    \"qps_8\": 2106.81\n  },\n  \"floor_8v1\": 2\n}\n";
+
+    #[test]
+    fn section_extracts_the_exact_object() {
+        assert_eq!(
+            json_merge::section(DOC, "serviced").as_deref(),
+            Some("{\n    \"qps_1\": 479.69,\n    \"qps_8\": 2106.81\n  }")
+        );
+        assert_eq!(json_merge::section(DOC, "missing"), None);
+    }
+
+    #[test]
+    fn upsert_appends_as_last_member_and_replaces_in_place() {
+        let sock = "{\n    \"peers\": 250,\n    \"balanced\": 1\n  }";
+        let once = json_merge::upsert_section(DOC, "socket", sock);
+        assert!(
+            once.ends_with("  \"socket\": {\n    \"peers\": 250,\n    \"balanced\": 1\n  }\n}\n")
+        );
+        assert!(once.contains("  \"floor_8v1\": 2,\n"), "{once}");
+        // Idempotent: replacing the same section changes nothing.
+        assert_eq!(json_merge::upsert_section(&once, "socket", sock), once);
+        // Round trip: what section() pulls out, upsert puts back.
+        let pulled = json_merge::section(&once, "socket").unwrap();
+        assert_eq!(pulled, sock);
+    }
+
+    #[test]
+    fn remove_fixes_the_dangling_comma() {
+        let sock = "{\n    \"peers\": 250\n  }";
+        let doc = json_merge::upsert_section(DOC, "socket", sock);
+        assert_eq!(json_merge::remove_section(&doc, "socket"), DOC);
+        // Removing a middle section leaves the rest intact.
+        let gone = json_merge::remove_section(DOC, "serviced");
+        assert!(gone.contains("\"queries\": 480"));
+        assert!(!gone.contains("qps_1"));
+        assert!(gone.ends_with("  \"floor_8v1\": 2\n}\n"));
     }
 
     #[test]

@@ -112,4 +112,5 @@ golden! {
     golden_index_detail_tradeoff => exp_index_detail_tradeoff,
     golden_churn_resilience => exp_churn_resilience,
     golden_scale => exp_scale,
+    golden_socket_soak => exp_socket_soak,
 }

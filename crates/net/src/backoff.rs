@@ -1,0 +1,197 @@
+//! Reconnect pacing for socket transports: jittered exponential
+//! backoff, deterministic given its seed.
+//!
+//! The connection state machine in `mqp_peer::tcp` moves a link to
+//! `Backoff` whenever a connect attempt fails or an established
+//! connection drops; [`Backoff::next_delay`] answers "how long until
+//! the next attempt". Delays double from `base` up to `cap`, and each
+//! is jittered by ±25% (a splitmix64 draw keyed off the seed and the
+//! attempt number) so a hundred peers cut off by the same restart do
+//! not reconnect in lock-step — the classic thundering-herd failure of
+//! unjittered backoff.
+
+use std::time::Duration;
+
+/// Jittered exponential backoff: `base * 2^attempt`, capped at `cap`,
+/// ±25% jitter. Deterministic for a given `(seed, attempt)` pair.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    attempt: u32,
+}
+
+/// splitmix64 — the same tiny generator the scale workload uses for
+/// pure-hash assignment; good enough to decorrelate reconnect times.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Backoff {
+    /// A fresh backoff: first delay ≈ `base`, growing to ≈ `cap`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap,
+            seed,
+            attempt: 0,
+        }
+    }
+
+    /// Consecutive failures so far (resets on success).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The delay before the next attempt, advancing the attempt
+    /// counter. Doubling is saturating, so a long outage settles at
+    /// `cap` ± jitter instead of overflowing.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(20); // 2^20 * base is far past any sane cap
+        self.attempt = self.attempt.saturating_add(1);
+        let raw = self
+            .base
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.cap)
+            .as_micros() as u64;
+        // Jitter in [-25%, +25%): draw 0..=raw/2, subtract raw/4.
+        let span = (raw / 2).max(1);
+        let draw = splitmix64(self.seed ^ u64::from(self.attempt)) % span;
+        Duration::from_micros(raw - raw / 4 + draw)
+    }
+
+    /// A connection succeeded: the next failure starts over at `base`.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// Sender-side frame accounting for a socket transport, with an exact
+/// identity mirroring [`NetStats::balances`](crate::NetStats::balances):
+///
+/// ```text
+/// frames_enqueued = frames_sent + dropped_backpressure
+///                 + dropped_disconnected + abandoned + queued
+/// ```
+///
+/// where `queued` is whatever still sits in write queues at the moment
+/// of observation (zero after a drained shutdown). Every frame a peer
+/// hands to the transport is eventually flushed onto a socket
+/// (`frames_sent`), dropped because a full write queue chose
+/// drop-newest (`dropped_backpressure`), dropped because the link was
+/// down past its reconnect budget (`dropped_disconnected`), or
+/// abandoned in-queue when its owning peer was killed or shut down
+/// (`abandoned`).
+///
+/// Receive-side counters (`frames_received`, `bytes_received`) do not
+/// enter the identity: with real sockets, bytes in a kernel buffer at
+/// the instant a peer dies are lost without any sender-side event —
+/// which is exactly the gap retry watches exist to cover.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SocketStats {
+    /// Frames handed to the transport for a remote peer.
+    pub frames_enqueued: u64,
+    /// Frames fully flushed onto a socket.
+    pub frames_sent: u64,
+    /// Frames dropped by a full write queue (drop-newest policy).
+    pub dropped_backpressure: u64,
+    /// Frames dropped because the destination link was down.
+    pub dropped_disconnected: u64,
+    /// Frames abandoned in write queues at kill/shutdown.
+    pub abandoned: u64,
+    /// Bytes flushed onto sockets (length prefixes included).
+    pub bytes_sent: u64,
+    /// Frames decoded off sockets.
+    pub frames_received: u64,
+    /// Bytes read off sockets.
+    pub bytes_received: u64,
+    /// Frames delivered peer-locally (self-sends never touch a socket).
+    pub frames_local: u64,
+    /// Successful connects (initial and re-).
+    pub connects: u64,
+    /// Connect attempts that failed or established links that dropped.
+    pub disconnects: u64,
+    /// Timeout-driven protocol retries observed by peers.
+    pub retries: u64,
+}
+
+impl SocketStats {
+    /// The exact sender-side accounting identity (see type docs).
+    pub fn balances(&self, queued: u64) -> bool {
+        self.frames_enqueued
+            == self.frames_sent
+                + self.dropped_backpressure
+                + self.dropped_disconnected
+                + self.abandoned
+                + queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_resets() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(640);
+        let mut b = Backoff::new(base, cap, 7);
+        let mut prev = Duration::ZERO;
+        for i in 0..12 {
+            let d = b.next_delay();
+            // Within ±25% of the uncapped-then-capped ideal.
+            let ideal = base.saturating_mul(1 << i.min(20)).min(cap);
+            assert!(
+                d >= ideal - ideal / 4,
+                "attempt {i}: {d:?} < 75% of {ideal:?}"
+            );
+            assert!(
+                d <= ideal + ideal / 4,
+                "attempt {i}: {d:?} > 125% of {ideal:?}"
+            );
+            if i >= 7 {
+                // Past the cap the delay stops growing (modulo jitter).
+                assert!(d <= cap + cap / 4);
+            }
+            prev = d;
+        }
+        assert!(prev <= cap + cap / 4);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay() <= base + base / 4);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_jittered_across_seeds() {
+        let delays = |seed| {
+            let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(1), seed);
+            (0..6).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(delays(1), delays(1));
+        assert_ne!(delays(1), delays(2), "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn socket_identity() {
+        let mut s = SocketStats {
+            frames_enqueued: 10,
+            frames_sent: 6,
+            dropped_backpressure: 1,
+            dropped_disconnected: 2,
+            abandoned: 1,
+            ..SocketStats::default()
+        };
+        assert!(s.balances(0));
+        assert!(!s.balances(1));
+        s.frames_sent -= 1;
+        assert!(s.balances(1));
+        // Receive-side counters never enter the identity.
+        s.frames_received = 99;
+        s.frames_local = 3;
+        assert!(s.balances(1));
+    }
+}

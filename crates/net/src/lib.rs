@@ -27,7 +27,14 @@
 //!   bytes (`Envelope::payload`), over which `mqp_peer`'s
 //!   `ThreadedCluster` drives the same sans-IO peer protocol on real
 //!   OS threads.
+//! * [`backoff`] — the shared pieces every real-socket driver needs:
+//!   jittered exponential [`Backoff`] for reconnect pacing and
+//!   [`SocketStats`], sender-side frame accounting with an exact
+//!   balance identity (the socket-path analogue of
+//!   [`NetStats::balances`](stats::NetStats::balances)). Used by
+//!   `mqp_peer::tcp`.
 
+pub mod backoff;
 mod calendar;
 pub mod fault;
 pub mod sim;
@@ -35,6 +42,7 @@ pub mod stats;
 pub mod threaded;
 pub mod topology;
 
+pub use backoff::{Backoff, SocketStats};
 pub use fault::{ChurnEvent, FaultPlan};
 pub use sim::{Delivery, NodeId, SimNet};
 pub use stats::NetStats;

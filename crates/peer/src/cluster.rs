@@ -72,7 +72,25 @@ fn worker_loop(
                 .bytes
                 .fetch_add(env.bytes() as u64, Ordering::Relaxed);
             match Frame::kind(&env.payload) {
-                "stop" => return,
+                "stop" => {
+                    // Drain before dying: frames already queued behind
+                    // the stop (self-sends especially — a peer routing
+                    // to itself enqueues into its own inbox) carry
+                    // completions the front-end is still owed. Without
+                    // this, an immediate shutdown after a burst of
+                    // submissions loses outcomes at teardown.
+                    while let Some(env) = endpoint.try_recv() {
+                        counters.frames.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .bytes
+                            .fetch_add(env.bytes() as u64, Ordering::Relaxed);
+                        if Frame::kind(&env.payload) != "stop" {
+                            let effects = node.on_message(env.from, &env.payload, now_us());
+                            apply(&endpoint, &outcomes, &counters, effects);
+                        }
+                    }
+                    return;
+                }
                 kind => {
                     // Model per-envelope service time (store access,
                     // disk, remote fetch) for MQP processing — the knob
@@ -363,6 +381,30 @@ mod tests {
             assert_eq!(q.items.len(), 2);
         }
         cluster.shutdown(&client);
+    }
+
+    /// The shutdown-ordering guarantee: a stop sent right behind a
+    /// burst of submissions must not outrace their deliveries. With a
+    /// single self-routing peer every delivery is a self-send queued
+    /// behind the stop in its own inbox, so without the worker's
+    /// stop-drain exactly zero outcomes would survive.
+    #[test]
+    fn stop_drains_behind_submissions() {
+        let mut solo = Peer::new("solo", ns());
+        solo.add_collection(
+            "cds",
+            pdx_cds(),
+            [parse("<item><title>A</title><price>8</price></item>").unwrap()],
+        );
+        let (cluster, mut client) = ThreadedCluster::new(vec![solo]);
+        let k = 8;
+        for _ in 0..k {
+            client.submit(0, &Plan::url("mqp://solo/"));
+        }
+        // No collect before shutdown: the outcomes must ride the drain.
+        cluster.shutdown(&client);
+        let done = client.collect(k, Duration::from_millis(100));
+        assert_eq!(done.len(), k, "outcomes lost at teardown");
     }
 
     #[test]

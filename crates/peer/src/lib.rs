@@ -1,4 +1,4 @@
-//! # mqp-peer — the peer protocol core and its two drivers
+//! # mqp-peer — the peer protocol core and its drivers
 //!
 //! Ties the pieces together in three layers (DESIGN.md §8):
 //!
@@ -14,10 +14,13 @@
 //!   clocks.
 //! * The drivers: [`SimHarness`] feeds `PeerNode`s from the `mqp-net`
 //!   discrete-event simulator (deterministic; the substrate for every
-//!   experiment in EXPERIMENTS.md), and [`ThreadedCluster`] drives the
+//!   experiment in EXPERIMENTS.md), [`ThreadedCluster`] drives the
 //!   identical nodes over `mqp_net::threaded` endpoints on real OS
-//!   threads, with an [`MqpClient`] front-end supporting many
-//!   concurrent in-flight queries.
+//!   threads with an [`MqpClient`] front-end supporting many
+//!   concurrent in-flight queries, and [`TcpCluster`] drives them over
+//!   real TCP sockets — length-prefixed [`framing`], reconnecting
+//!   links, bounded write queues — behind an equivalent [`TcpClient`]
+//!   (`tests/equivalence.rs` pins all three to identical outcomes).
 //!
 //! Peer roles (§3.2) are configuration, not types: a peer with local
 //! collections is a *base server*; one with catalog entries it answers
@@ -27,10 +30,12 @@
 //! query's server" (§1).
 
 pub mod cluster;
+pub mod framing;
 pub mod harness;
 pub mod node;
 pub mod peer;
 pub mod store;
+pub mod tcp;
 pub mod wire;
 
 pub use cluster::{ClusterStats, MqpClient, ThreadedCluster};
@@ -39,3 +44,4 @@ pub use mqp_core::{QueryId, QueryOutcome};
 pub use node::{Directory, Effect, PeerNode, RetryPolicy};
 pub use peer::Peer;
 pub use store::{Collection, LocalStore};
+pub use tcp::{TcpClient, TcpCluster, TcpConfig};

@@ -342,8 +342,9 @@ impl PeerNode {
                     .unwrap_or_else(|e| panic!("malformed submitted plan: {e:?}"));
                 self.submit(qid, mqp.plan().clone(), now)
             }
-            // Stop is host-level; a node receiving one does nothing.
-            Frame::Stop => Vec::new(),
+            // Stop and hello are host-level (driver control and stream
+            // handshake); a node receiving either does nothing.
+            Frame::Stop | Frame::Hello { .. } => Vec::new(),
             Frame::Result(rf) => self.handle_result(from, rf, now),
             Frame::Mqp(mf) => self.handle_mqp(from, mf, now),
         }

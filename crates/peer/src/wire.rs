@@ -22,6 +22,7 @@
 use mqp_catalog::{CatalogEntry, Level, ServerId};
 use mqp_core::QueryId;
 use mqp_namespace::urn::{decode_area, encode_area};
+use mqp_net::NodeId;
 
 /// Per-query counters that ride every `mqp`/`res` frame, so any peer —
 /// not just the client — can account for the query it is holding. This
@@ -104,6 +105,19 @@ pub enum Frame {
     },
     /// Front-end control: stop the receiving worker thread.
     Stop,
+    /// Connection handshake (stream transports only): the first frame
+    /// on every new connection, announcing who is calling. Datagram-ish
+    /// transports (the simulator, the threaded mesh) carry the sender
+    /// address per message and never send one; a TCP connection has no
+    /// such envelope, so `mqp_peer::tcp` attributes everything a
+    /// connection delivers to the node its hello declared.
+    Hello {
+        /// The caller's transport address.
+        node: NodeId,
+        /// The caller's peer name (diagnostic cross-check; the client
+        /// front-end, which has no peer, sends its slot id as text).
+        id: ServerId,
+    },
 }
 
 fn opt_qid(t: &str) -> Result<Option<QueryId>, String> {
@@ -194,6 +208,10 @@ impl Frame {
             Frame::Ack { qid } => format!("ack {qid}\n"),
             Frame::Submit { qid, plan } => format!("sub {qid}\n{plan}"),
             Frame::Stop => "stop\n".to_owned(),
+            Frame::Hello { node, id } => {
+                debug_assert!(!id.as_str().contains('\n'), "hello id must be single-line");
+                format!("hello {node}\n{}", id.as_str())
+            }
         };
         out.into_bytes()
     }
@@ -282,6 +300,18 @@ impl Frame {
                 })
             }
             "stop" => Ok(Frame::Stop),
+            "hello" => {
+                if tokens.len() < 2 {
+                    return Err(format!("truncated hello header {header:?}"));
+                }
+                let node: NodeId = tokens[1]
+                    .parse()
+                    .map_err(|e| format!("bad hello node {:?}: {e}", tokens[1]))?;
+                Ok(Frame::Hello {
+                    node,
+                    id: ServerId::new(payload),
+                })
+            }
             other => Err(format!("unknown frame kind {other:?}")),
         }
     }
@@ -298,8 +328,8 @@ impl Frame {
 
 /// The logical byte count the simulator charges for a frame — the
 /// exact pre-sans-IO `PeerMsg::wire_bytes` formulas (see module docs).
-/// Control frames (`ack`, `sub`, `stop`) never cross the simulated
-/// network and charge nothing.
+/// Control frames (`ack`, `sub`, `stop`, `hello`) never cross the
+/// simulated network and charge nothing.
 pub fn charge(bytes: &[u8]) -> usize {
     let Some(header_end) = bytes.iter().position(|&b| b == b'\n') else {
         return 0;
@@ -408,6 +438,10 @@ mod tests {
                 plan: "<mqp><plan/></mqp>".to_owned(),
             },
             Frame::Stop,
+            Frame::Hello {
+                node: 42,
+                id: ServerId::new("seller-7"),
+            },
         ] {
             let bytes = f.encode();
             assert_eq!(Frame::decode(&bytes).unwrap(), f);

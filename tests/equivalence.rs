@@ -1,10 +1,11 @@
-//! Host equivalence (DESIGN.md §8): the deterministic simulator
-//! (`SimHarness`) and the real-thread cluster (`ThreadedCluster`) drive
-//! the *identical* sans-IO `PeerNode` state machine, so for the same
-//! topology, world, and fault-free workload they must produce identical
-//! sets of `QueryOutcome`s — same answers, same hop counts, same §5.1
-//! audit verdicts, same failure reasons. Only latency (virtual vs wall
-//! clock) may differ.
+//! Host equivalence (DESIGN.md §8, §11): the deterministic simulator
+//! (`SimHarness`), the real-thread cluster (`ThreadedCluster`), and the
+//! real-socket cluster (`TcpCluster`) drive the *identical* sans-IO
+//! `PeerNode` state machine, so for the same topology, world, and
+//! fault-free workload all three must produce identical sets of
+//! `QueryOutcome`s — same answers, same hop counts, same §5.1 audit
+//! verdicts, same failure reasons. Only latency (virtual vs wall
+//! clock) and byte totals (logical vs framed sizes) may differ.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -13,7 +14,7 @@ use mqp::algebra::plan::Plan;
 use mqp::core::QueryId;
 use mqp::namespace::{Hierarchy, InterestArea, Namespace, Urn};
 use mqp::net::Topology;
-use mqp::peer::{Peer, SimHarness, ThreadedCluster};
+use mqp::peer::{Peer, SimHarness, TcpCluster, ThreadedCluster};
 use mqp::xml::parse;
 
 fn ns() -> Namespace {
@@ -113,7 +114,7 @@ fn fingerprint(q: &mqp::core::QueryOutcome) -> Fingerprint {
 }
 
 #[test]
-fn sim_and_threaded_hosts_agree_on_every_outcome() {
+fn sim_threaded_and_tcp_hosts_agree_on_every_outcome() {
     // --- simulator run ---
     let mut sim_outcomes: BTreeMap<QueryId, Fingerprint> = BTreeMap::new();
     let n = world().len();
@@ -137,14 +138,30 @@ fn sim_and_threaded_hosts_agree_on_every_outcome() {
     let thr_outcomes: BTreeMap<QueryId, Fingerprint> =
         done.iter().map(|q| (q.qid, fingerprint(q))).collect();
 
+    // --- TCP run, same world, real sockets ---
+    let (tcp, mut tcp_client) = TcpCluster::new(world());
+    let tcp_qids: Vec<QueryId> = plans.iter().map(|p| tcp_client.submit(0, p)).collect();
+    let tcp_done = tcp_client.collect(tcp_qids.len(), Duration::from_secs(30));
+    let socket_stats = tcp.shutdown(&mut tcp_client);
+    assert_eq!(tcp_done.len(), tcp_qids.len(), "tcp cluster lost a query");
+    assert!(socket_stats.balances(0), "unbalanced: {socket_stats:?}");
+    let tcp_outcomes: BTreeMap<QueryId, Fingerprint> =
+        tcp_done.iter().map(|q| (q.qid, fingerprint(q))).collect();
+
     // Identical sets: same qids, and per qid the same answer items,
-    // failure reason, hop count, audit verdict, and retry count.
+    // failure reason, hop count, audit verdict, and retry count —
+    // across all three hosts.
     assert_eq!(sim_outcomes.len(), thr_outcomes.len());
+    assert_eq!(sim_outcomes.len(), tcp_outcomes.len());
     for (qid, sim_fp) in &sim_outcomes {
         let thr_fp = thr_outcomes
             .get(qid)
             .unwrap_or_else(|| panic!("query {qid} missing from threaded run"));
-        assert_eq!(sim_fp, thr_fp, "query {qid} diverged between hosts");
+        assert_eq!(sim_fp, thr_fp, "query {qid} diverged sim vs threaded");
+        let tcp_fp = tcp_outcomes
+            .get(qid)
+            .unwrap_or_else(|| panic!("query {qid} missing from tcp run"));
+        assert_eq!(sim_fp, tcp_fp, "query {qid} diverged sim vs tcp");
     }
 
     // The workload exercised both success and failure paths.
@@ -173,6 +190,33 @@ fn threaded_outcomes_are_stable_across_runs() {
         let done = client.collect(qids.len(), Duration::from_secs(30));
         cluster.shutdown(&client);
         assert_eq!(done.len(), qids.len());
+        let mut fps: Vec<Fingerprint> = done.iter().map(fingerprint).collect();
+        fps.sort();
+        fps
+    };
+    assert_eq!(run(), run());
+}
+
+/// Same stability property on the socket host: repeated runs with the
+/// whole workload tripled and in flight at once produce identical
+/// outcome multisets, with exact frame accounting every time.
+#[test]
+fn tcp_outcomes_are_stable_across_runs() {
+    let run = || {
+        let (cluster, mut client) = TcpCluster::new(world());
+        let plans = workload();
+        let qids: Vec<QueryId> = (0..3)
+            .flat_map(|_| {
+                plans
+                    .iter()
+                    .map(|p| client.submit(0, p))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let done = client.collect(qids.len(), Duration::from_secs(30));
+        let stats = cluster.shutdown(&mut client);
+        assert_eq!(done.len(), qids.len());
+        assert!(stats.balances(0), "unbalanced: {stats:?}");
         let mut fps: Vec<Fingerprint> = done.iter().map(fingerprint).collect();
         fps.sort();
         fps
