@@ -46,7 +46,15 @@
 //!   100% audit-clean, and an exactly balanced frame-accounting
 //!   identity. Static (no re-measurement — the CI `socket-smoke` job
 //!   re-proves the invariants at golden scale and then gates the
-//!   committed full-scale record with this mode).
+//!   committed full-scale record with this mode);
+//! * `--check-recovery` — validate only the `recovery` section of
+//!   `BENCH_threaded.json`, committed by a full-scale
+//!   `exp_crash_recovery` run (DESIGN.md §12): ≥ 99% of bindings
+//!   recovered after post-fsync kills, every recovered catalog an
+//!   exact prefix replay, zero unaccounted frames through the churn,
+//!   and recall with durability at least the no-durability baseline's.
+//!   Static, like `--check-socket` — the CI `crash-smoke` job re-runs
+//!   the experiment's invariants at golden scale first.
 
 use std::time::Instant;
 
@@ -748,6 +756,61 @@ fn check_socket() -> Result<(), String> {
     }
 }
 
+/// The recovery gate: the committed `recovery` section of
+/// `BENCH_threaded.json` must record a full-scale `exp_crash_recovery`
+/// run that met the durability contract (DESIGN.md §12). Static, for
+/// the same reason as [`check_socket`]: the invariants are
+/// machine-independent and asserted inside the experiment itself.
+fn check_recovery() -> Result<(), String> {
+    let committed = std::fs::read_to_string(committed_threaded_path())
+        .map_err(|e| format!("cannot read committed BENCH_threaded.json: {e}"))?;
+    let get = |key: &str| {
+        json_f64(&committed, "recovery", key).ok_or(format!(
+            "committed BENCH_threaded.json is missing recovery.{key}; \
+             regenerate it with a full-scale `exp_crash_recovery` run"
+        ))
+    };
+    let post_fsync = get("post_fsync_recovered_pct")?;
+    let prefix = get("prefix_consistent")?;
+    let unaccounted = get("unaccounted_frames")?;
+    let durable = get("durable_recall_pct")?;
+    let baseline = get("baseline_recall_pct")?;
+    let reregs = get("rereg_frames")?;
+    eprintln!(
+        "perf-report: recovery: post-fsync {post_fsync:.2}% recovered, \
+         prefix_consistent={prefix:.0}, recall {durable:.2}% durable vs \
+         {baseline:.2}% baseline, {reregs:.0} rereg frames, \
+         {unaccounted:.0} unaccounted"
+    );
+    let mut failures = Vec::new();
+    if post_fsync < 99.0 {
+        failures.push(format!(
+            "post-fsync kills recovered only {post_fsync:.2}% of bindings (floor 99)"
+        ));
+    }
+    if prefix != 1.0 {
+        failures.push("a recovered catalog was not a prefix replay".to_owned());
+    }
+    if unaccounted != 0.0 {
+        failures.push(format!(
+            "{unaccounted:.0} frames unaccounted for through the churn"
+        ));
+    }
+    if durable < baseline {
+        failures.push(format!(
+            "durable recall {durable:.2}% below the no-durability baseline {baseline:.2}%"
+        ));
+    }
+    if reregs <= 0.0 {
+        failures.push("no rereg frames recorded — recovered peers never re-announced".to_owned());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 /// Runs the scale probe in a fresh child process (`--scale-json`) and
 /// parses the report back. Isolation matters twice over: the RSS-delta
 /// measurement needs a process that has not allocated anything yet, and
@@ -794,6 +857,16 @@ fn main() {
         eprintln!("perf-report: socket OK");
         return;
     }
+    if mode == "--check-recovery" {
+        // Static gate only — the CI crash-smoke job runs the golden
+        // experiment itself, then gates the committed full-scale record.
+        if let Err(e) = check_recovery() {
+            eprintln!("perf-report: FAIL: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("perf-report: recovery OK");
+        return;
+    }
     let scale = scale_in_child();
     let report = measure();
     let engine = measure_engine();
@@ -828,7 +901,8 @@ fn main() {
             let eng = check_engine(&engine);
             let sc = check_scale(&scale);
             let sock = check_socket();
-            if let Err(e) = wire.and(eng).and(sc).and(sock) {
+            let rec = check_recovery();
+            if let Err(e) = wire.and(eng).and(sc).and(sock).and(rec) {
                 eprintln!("perf-report: FAIL: {e}");
                 std::process::exit(1);
             }

@@ -1,0 +1,435 @@
+//! E14 — crash recovery: the durable catalog's WAL + snapshot machinery
+//! (DESIGN.md §12) under a seeded kill-point sweep, and the recall it
+//! buys a peer-to-peer world whose index peers power-cycle mid-run.
+//!
+//! **Phase A — kill-point sweep.** A stream of catalog ops (unique
+//! registrations plus URN mappings) is journaled into a
+//! [`DurableCatalog`] over a seeded [`FaultyDisk`], then killed at every
+//! sweep point under three fault classes:
+//!
+//! * **post-fsync** — every op synced before the kill; recovery must
+//!   find 100% of the logged bindings (the ≥99% CI gate).
+//! * **torn tail** — sync every 8 ops, crash keeps a seeded *prefix* of
+//!   the unsynced tail, tearing a record mid-write; recovery truncates
+//!   at the tear.
+//! * **corrupt read** — replay sees one seeded byte flipped; the CRC
+//!   catches it and recovery truncates at the damaged record.
+//!
+//! Every trial additionally checks *prefix consistency*: the recovered
+//! catalog must equal a replay of exactly the first `k` ops for some
+//! `k` — never a blend, never an invented binding. Replay cost is
+//! measured over a large WAL at full scale.
+//!
+//! **Phase B — recall under churn.** Two identical sim worlds (client,
+//! meta index, seller pairs) run the same power-cycle schedule — the
+//! meta index and every even seller crash and restart — differing only
+//! in the disk behind each peer's journal: [`MemDisk`] (durable arm)
+//! vs [`NullDisk`] (baseline arm: accepts every write, persists
+//! nothing, recovery finds an empty catalog — the pre-durability
+//! semantics run through the identical code path). Post-churn recall
+//! and rereg traffic are compared; the network's message accounting
+//! identity must stay exact (zero unaccounted frames).
+//!
+//! At full scale the results land in the `recovery` section of
+//! `BENCH_threaded.json`, gated by `bench_report --check-recovery`.
+//! The CI `crash-smoke` job runs this binary at `MQP_EXP_SCALE=golden`
+//! twice, byte-identical.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mqp_algebra::plan::{Plan, UrnRef};
+use mqp_bench::{f2, fmt_ms, golden_scale, json_merge, print_table};
+use mqp_catalog::durable::{CatalogOp, DurableCatalog, FaultyDisk, MemDisk, NullDisk, SharedDisk};
+use mqp_catalog::{Catalog, CatalogEntry, ServerId};
+use mqp_namespace::{Hierarchy, InterestArea, Namespace, Urn};
+use mqp_net::{DiskFaults, NodeId, Topology};
+use mqp_peer::{Peer, SimHarness};
+use mqp_xml::Element;
+
+// ---------------------------------------------------------------------
+// Phase A — kill-point sweep over a faulty disk
+// ---------------------------------------------------------------------
+
+/// The fault class a kill-point trial runs under.
+#[derive(Clone, Copy)]
+enum KillClass {
+    /// Every op synced before the kill: nothing may be lost.
+    PostFsync,
+    /// Wide sync cadence + torn unsynced tail at the kill.
+    TornTail,
+    /// Replay sees one seeded flipped byte.
+    CorruptRead,
+}
+
+impl KillClass {
+    fn faults(self, seed: u64) -> DiskFaults {
+        DiskFaults {
+            seed,
+            torn_tail: matches!(self, KillClass::TornTail),
+            corrupt_read: matches!(self, KillClass::CorruptRead),
+            sync_fail_period: 0,
+        }
+    }
+
+    fn sync_every(self) -> usize {
+        match self {
+            // The torn class deliberately widens the crash-before-fsync
+            // window so the kill has an unsynced tail to tear.
+            KillClass::TornTail => 8,
+            _ => 1,
+        }
+    }
+}
+
+fn sweep_area(i: usize) -> InterestArea {
+    let city = format!("City-{:02}", i % 16);
+    InterestArea::parse(&[&[city.as_str(), "Music/CDs"]])
+}
+
+/// The op stream: unique registrations with URN mappings mixed in, so
+/// a recovered prefix is identifiable by exact catalog equality.
+fn sweep_ops(n: usize) -> Vec<CatalogOp> {
+    (0..n)
+        .map(|i| {
+            if i % 5 == 4 {
+                CatalogOp::MapUrn {
+                    urn: format!("urn:ForSale:lot-{i:04}"),
+                    server: ServerId::new(format!("server-{i:04}")),
+                    collection: None,
+                }
+            } else {
+                CatalogOp::Register(CatalogEntry::base(format!("server-{i:04}"), sweep_area(i)))
+            }
+        })
+        .collect()
+}
+
+/// One kill-point trial: journal `ops[..k]`, kill, recover. Returns
+/// the number of ops recovery found and whether the recovered catalog
+/// is exactly a prefix replay (no blends, no inventions).
+fn trial(ops: &[CatalogOp], k: usize, class: KillClass, seed: u64) -> (usize, bool) {
+    let disk = SharedDisk::new(FaultyDisk::new(class.faults(seed)));
+    let mut dc = DurableCatalog::new(disk)
+        .with_snapshot_every(0) // keep every op in the WAL: 1 record = 1 op
+        .with_sync_every(class.sync_every());
+    for op in &ops[..k] {
+        let _ = dc.log(op);
+    }
+    dc.crash();
+    let (recovered, report) = dc.recover().expect("recovery must not error");
+    let applied = report.snapshot_records + report.wal_records;
+    let mut expect = Catalog::new();
+    for op in &ops[..applied.min(k)] {
+        op.apply(&mut expect);
+    }
+    let consistent = applied <= k && recovered.snapshot_ops() == expect.snapshot_ops();
+    (applied, consistent)
+}
+
+/// Sweeps kill points `stride, 2*stride, …` through the op stream for
+/// one fault class; returns (mean recovered %, min recovered %, all
+/// trials prefix-consistent).
+fn sweep(ops: &[CatalogOp], stride: usize, class: KillClass) -> (f64, f64, bool) {
+    let mut fractions = Vec::new();
+    let mut consistent = true;
+    let mut k = stride;
+    while k <= ops.len() {
+        let seed = 0xC0FF_EE00 ^ (k as u64).wrapping_mul(0x9E37_79B9);
+        let (applied, ok) = trial(ops, k, class, seed);
+        fractions.push(100.0 * applied as f64 / k as f64);
+        consistent &= ok;
+        k += stride;
+    }
+    let mean = fractions.iter().sum::<f64>() / fractions.len().max(1) as f64;
+    let min = fractions.iter().copied().fold(f64::INFINITY, f64::min);
+    (mean, min, consistent)
+}
+
+/// Replay cost over a large clean WAL (timed; elided at golden scale).
+fn replay_cost(n: usize) -> (usize, f64) {
+    let ops = sweep_ops(n);
+    let mut dc = DurableCatalog::new(SharedDisk::new(MemDisk::new()))
+        .with_snapshot_every(0)
+        .with_sync_every(64);
+    for op in &ops {
+        let _ = dc.log(op);
+    }
+    let _ = dc.flush();
+    dc.crash();
+    let t0 = Instant::now();
+    let (_, report) = dc.recover().expect("clean replay");
+    (report.wal_records, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+// ---------------------------------------------------------------------
+// Phase B — recall under churn: durable vs no-durability baseline
+// ---------------------------------------------------------------------
+
+fn city(p: usize) -> String {
+    format!("USA/City-{p:03}")
+}
+
+fn pair_area(p: usize) -> InterestArea {
+    InterestArea::parse(&[&[city(p).as_str(), "Music/CDs"]])
+}
+
+fn namespace(pairs: usize) -> Namespace {
+    let mut loc = Hierarchy::new("Location");
+    for p in 0..pairs {
+        loc.add(city(p).as_str());
+    }
+    Namespace::new([loc, Hierarchy::new("Merchandise").with(["Music/CDs"])])
+}
+
+fn journal(durable: bool) -> DurableCatalog {
+    if durable {
+        DurableCatalog::new(SharedDisk::new(MemDisk::new()))
+    } else {
+        DurableCatalog::new(SharedDisk::new(NullDisk))
+    }
+}
+
+/// client (node 0), meta (node 1), seller `j` at node `2 + j`; sellers
+/// `2p`/`2p+1` share city `p`. Every peer journals its catalog; only
+/// the disk behind the journal differs between the arms.
+fn world(pairs: usize, durable: bool) -> SimHarness {
+    let ns = namespace(pairs);
+    let client = Peer::new("client", ns.clone()).with_default_route("meta");
+    let mut meta = Peer::new("meta", ns.clone());
+    let mut sellers = Vec::with_capacity(2 * pairs);
+    for j in 0..2 * pairs {
+        let mut s = Peer::new(format!("seller-{j}"), ns.clone());
+        s.add_collection(
+            "cds",
+            pair_area(j / 2),
+            [Element::new("item")
+                .child(Element::new("title").text(format!("Album-{j:04}")))
+                .child(Element::new("price").text(format!("{}.99", j % 40)))],
+        );
+        // The seller knows its index — the rereg target after recovery.
+        s.catalog_mut()
+            .register(CatalogEntry::index("meta", pair_area(j / 2)));
+        s.enable_durability(journal(durable));
+        meta.catalog_mut().register(s.base_entry());
+        sellers.push(s);
+    }
+    meta.enable_durability(journal(durable));
+    let mut peers = vec![client, meta];
+    peers.extend(sellers);
+    let n = peers.len();
+    SimHarness::new(Topology::uniform(n, 2_000), peers)
+}
+
+const META: NodeId = 1;
+
+struct ChurnOutcome {
+    recall_pct: f64,
+    meta_recovered_pct: f64,
+    rereg_frames: u64,
+    unaccounted: i64,
+}
+
+/// The shared schedule: warm queries, power-cycle the meta index and
+/// every even seller, then the post-churn workload — one area query
+/// (needs the meta index's recovered registrations) and one direct URL
+/// query (independent of them) per pair.
+fn churn_run(pairs: usize, durable: bool) -> ChurnOutcome {
+    let mut h = world(pairs, durable);
+    for p in 0..pairs {
+        h.submit(0, Plan::Urn(UrnRef::new(Urn::area(pair_area(p)))));
+        h.run(100_000);
+    }
+    let warm = h.take_completed();
+    assert_eq!(warm.len(), pairs, "warmup stranded a query");
+    assert!(
+        warm.iter().all(|q| q.failure.is_none()),
+        "warmup must complete cleanly in both arms"
+    );
+
+    // Power-cycle: meta and every even seller crash...
+    let meta_entries_before = h.peer(META).catalog().entries().len();
+    h.crash_node(META);
+    for p in 0..pairs {
+        h.crash_node(2 + 2 * p);
+    }
+    // ...and restart, the index first so rereg announcements land on a
+    // live listener. The message counter delta across the restarts is
+    // exactly the rereg traffic.
+    let sent_before = h.net.stats().messages_sent;
+    h.restart_node(META);
+    let meta_recovered = h.peer(META).catalog().entries().len();
+    for p in 0..pairs {
+        h.restart_node(2 + 2 * p);
+    }
+    let rereg_frames = h.net.stats().messages_sent - sent_before;
+    h.run(100_000); // deliver the reregs
+
+    for p in 0..pairs {
+        h.submit(0, Plan::Urn(UrnRef::new(Urn::area(pair_area(p)))));
+        h.run(100_000);
+        h.submit(0, Plan::url(format!("mqp://seller-{}/", 2 * p + 1)));
+        h.run(100_000);
+    }
+    let post = h.take_completed();
+    assert_eq!(post.len(), 2 * pairs, "post-churn stranded a query");
+    let ok = post.iter().filter(|q| q.failure.is_none()).count();
+
+    let stats = h.net.stats().clone();
+    let accounted = stats.messages_delivered + stats.messages_dropped + stats.messages_lost;
+    ChurnOutcome {
+        recall_pct: 100.0 * ok as f64 / post.len() as f64,
+        meta_recovered_pct: 100.0 * meta_recovered as f64 / meta_entries_before.max(1) as f64,
+        rereg_frames,
+        unaccounted: stats.messages_sent as i64 - accounted as i64 - h.net.in_flight() as i64,
+    }
+}
+
+fn main() {
+    let golden = golden_scale();
+
+    // --- Phase A ---
+    let n_ops = if golden { 60 } else { 900 };
+    let stride = if golden { 6 } else { 30 };
+    let ops = sweep_ops(n_ops);
+    let kill_points = n_ops / stride;
+    let (clean_mean, clean_min, clean_ok) = sweep(&ops, stride, KillClass::PostFsync);
+    let (torn_mean, torn_min, torn_ok) = sweep(&ops, stride, KillClass::TornTail);
+    let (corrupt_mean, corrupt_min, corrupt_ok) = sweep(&ops, stride, KillClass::CorruptRead);
+    let prefix_consistent = clean_ok && torn_ok && corrupt_ok;
+    let (replay_records, replay_ms) = replay_cost(if golden { 2_000 } else { 50_000 });
+
+    print_table(
+        &format!("kill-point sweep: {n_ops} ops, {kill_points} kill points per class"),
+        &[
+            "fault class",
+            "recovered % (mean)",
+            "recovered % (min)",
+            "prefix-consistent",
+        ],
+        &[
+            vec![
+                "post-fsync".into(),
+                f2(clean_mean),
+                f2(clean_min),
+                if clean_ok { "yes" } else { "no" }.into(),
+            ],
+            vec![
+                "torn tail".into(),
+                f2(torn_mean),
+                f2(torn_min),
+                if torn_ok { "yes" } else { "no" }.into(),
+            ],
+            vec![
+                "corrupt read".into(),
+                f2(corrupt_mean),
+                f2(corrupt_min),
+                if corrupt_ok { "yes" } else { "no" }.into(),
+            ],
+        ],
+    );
+    println!(
+        "\nreplay: {replay_records} WAL records in {} ms",
+        fmt_ms(replay_ms)
+    );
+
+    // --- Phase B ---
+    let pairs = if golden { 4 } else { 40 };
+    let durable = churn_run(pairs, true);
+    let baseline = churn_run(pairs, false);
+
+    print_table(
+        &format!(
+            "recall under churn: {} peers, meta + {} sellers power-cycled",
+            2 + 2 * pairs,
+            pairs
+        ),
+        &["metric", "durable (WAL)", "baseline (no durability)"],
+        &[
+            vec![
+                "post-churn recall %".into(),
+                f2(durable.recall_pct),
+                f2(baseline.recall_pct),
+            ],
+            vec![
+                "meta bindings recovered %".into(),
+                f2(durable.meta_recovered_pct),
+                f2(baseline.meta_recovered_pct),
+            ],
+            vec![
+                "rereg frames".into(),
+                durable.rereg_frames.to_string(),
+                baseline.rereg_frames.to_string(),
+            ],
+            vec![
+                "unaccounted frames".into(),
+                durable.unaccounted.to_string(),
+                baseline.unaccounted.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "\nshape check (DESIGN.md §12): post-fsync kills recover every \
+         binding; torn and corrupt kills recover an exact prefix — never \
+         a blend. Under churn the durable arm's meta index replays its \
+         journal and recovered sellers re-announce over rereg frames, so \
+         recall returns to 100%; the baseline arm recovers nothing and \
+         loses every index-dependent query, with the message accounting \
+         identity exact in both arms."
+    );
+
+    assert!(clean_mean >= 99.0, "post-fsync recovery below gate");
+    assert!(
+        (clean_min - 100.0).abs() < f64::EPSILON,
+        "post-fsync kill lost a binding"
+    );
+    assert!(
+        prefix_consistent,
+        "a recovered catalog was not a prefix replay"
+    );
+    assert_eq!(durable.unaccounted, 0, "durable arm leaked frames");
+    assert_eq!(baseline.unaccounted, 0, "baseline arm leaked frames");
+    assert!(
+        durable.recall_pct >= baseline.recall_pct,
+        "durability must not reduce recall"
+    );
+    assert!(
+        durable.rereg_frames > 0,
+        "recovered sellers must re-announce"
+    );
+
+    if !golden {
+        let mut rec = String::from("{\n");
+        let _ = writeln!(rec, "    \"wal_ops\": {n_ops},");
+        let _ = writeln!(rec, "    \"kill_points_per_class\": {kill_points},");
+        let _ = writeln!(rec, "    \"post_fsync_recovered_pct\": {clean_mean:.2},");
+        let _ = writeln!(rec, "    \"torn_recovered_pct\": {torn_mean:.2},");
+        let _ = writeln!(rec, "    \"corrupt_recovered_pct\": {corrupt_mean:.2},");
+        let _ = writeln!(
+            rec,
+            "    \"prefix_consistent\": {},",
+            i32::from(prefix_consistent)
+        );
+        let _ = writeln!(rec, "    \"replay_records\": {replay_records},");
+        let _ = writeln!(rec, "    \"replay_ms\": {replay_ms:.2},");
+        let _ = writeln!(
+            rec,
+            "    \"durable_recall_pct\": {:.2},",
+            durable.recall_pct
+        );
+        let _ = writeln!(
+            rec,
+            "    \"baseline_recall_pct\": {:.2},",
+            baseline.recall_pct
+        );
+        let _ = writeln!(rec, "    \"rereg_frames\": {},", durable.rereg_frames);
+        let _ = writeln!(rec, "    \"unaccounted_frames\": {}", durable.unaccounted);
+        rec.push_str("  }");
+        let path =
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_threaded.json");
+        let doc = std::fs::read_to_string(&path).unwrap_or_else(|_| "{\n}\n".to_owned());
+        std::fs::write(&path, json_merge::upsert_section(&doc, "recovery", &rec))
+            .expect("write BENCH_threaded.json");
+        println!("\nwrote recovery section to {}", path.display());
+    }
+}

@@ -113,4 +113,5 @@ golden! {
     golden_churn_resilience => exp_churn_resilience,
     golden_scale => exp_scale,
     golden_socket_soak => exp_socket_soak,
+    golden_crash_recovery => exp_crash_recovery,
 }

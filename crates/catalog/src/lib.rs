@@ -20,12 +20,23 @@
 //! behaviour built on [`mqp_namespace::Hierarchy`] and live in
 //! `mqp-peer`.
 
+//!
+//! The catalog is also the only peer state worth persisting:
+//! [`durable`] journals every mutation to a checksummed write-ahead log
+//! with compacted snapshots, and recovers a prefix-consistent catalog
+//! after a crash (DESIGN.md §12).
+
 pub mod binding;
+pub mod durable;
 pub mod entry;
 pub mod intension;
 pub mod store;
 
 pub use binding::{BindChoice, Binding, BindingAlternative, Preference};
+pub use durable::{
+    CatalogOp, Disk, DiskError, DurableCatalog, DurableStats, FaultyDisk, MemDisk, NullDisk,
+    RecoveryReport, SharedDisk,
+};
 pub use entry::{CatalogEntry, Level, ServerId};
 pub use intension::{HoldingRef, IntensionalStatement, Rel};
 pub use store::Catalog;

@@ -144,6 +144,33 @@ impl Catalog {
             + self.urn_map.values().map(Vec::len).sum::<usize>()
     }
 
+    /// The catalog's durable content as a replayable op sequence —
+    /// exactly what a `durable` snapshot writes. Entries in insertion
+    /// order, then statements, then URN mappings in map order:
+    /// deterministic, and replaying into an empty catalog reproduces
+    /// the durable state. The route cache and its hit/miss counters are
+    /// deliberately volatile — routes are re-learned, not recovered.
+    pub fn snapshot_ops(&self) -> Vec<crate::durable::CatalogOp> {
+        use crate::durable::CatalogOp;
+        let mut ops = Vec::with_capacity(self.size());
+        for e in &self.entries {
+            ops.push(CatalogOp::Register((**e).clone()));
+        }
+        for s in &self.statements {
+            ops.push(CatalogOp::Statement(s.clone()));
+        }
+        for (urn, list) in &self.urn_map {
+            for (server, collection) in list {
+                ops.push(CatalogOp::MapUrn {
+                    urn: urn.clone(),
+                    server: server.clone(),
+                    collection: collection.clone(),
+                });
+            }
+        }
+        ops
+    }
+
     // ------------------------------------------------------------------
     // Resolution
     // ------------------------------------------------------------------

@@ -10,7 +10,7 @@
 //! not reconnect in lock-step — the classic thundering-herd failure of
 //! unjittered backoff.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Jittered exponential backoff: `base * 2^attempt`, capped at `cap`,
 /// ±25% jitter. Deterministic for a given `(seed, attempt)` pair.
@@ -67,6 +67,101 @@ impl Backoff {
     /// A connection succeeded: the next failure starts over at `base`.
     pub fn reset(&mut self) {
         self.attempt = 0;
+    }
+}
+
+/// A [`Backoff`] plus the bookkeeping every retrying resource ends up
+/// reimplementing around it: "am I allowed to try yet", "how many
+/// failures in a row", and "is the budget exhausted". Shared by the TCP
+/// link reconnect state machine (`mqp_peer::tcp`) and the durable
+/// catalog's WAL fsync/reopen path (`mqp_catalog::durable`), so the
+/// pacing and give-up policy live in exactly one place.
+///
+/// `max_attempts == 0` means an unbounded budget: the retrier never
+/// goes dead, it just keeps pacing at `cap`.
+#[derive(Debug, Clone)]
+pub struct Retrier {
+    backoff: Backoff,
+    max_attempts: u32,
+    /// Next attempt no sooner than this; `None` = ready now.
+    next_at: Option<Instant>,
+    dead: bool,
+}
+
+impl Retrier {
+    /// A fresh retrier pacing `base → cap` with the given seed and
+    /// attempt budget (0 = unbounded).
+    pub fn new(base: Duration, cap: Duration, seed: u64, max_attempts: u32) -> Self {
+        Retrier {
+            backoff: Backoff::new(base, cap, seed),
+            max_attempts,
+            next_at: None,
+            dead: false,
+        }
+    }
+
+    /// True when an attempt is allowed right now: not dead, and past
+    /// the pacing deadline of the last failure.
+    pub fn ready(&self) -> bool {
+        !self.dead && self.next_at.is_none_or(|t| Instant::now() >= t)
+    }
+
+    /// Records a failed attempt: schedules the next one a jittered
+    /// backoff delay from now, and kills the retrier when the attempt
+    /// budget is exhausted. Returns `true` when dead — the caller's cue
+    /// to shed whatever it was retrying for.
+    pub fn failure(&mut self) -> bool {
+        self.next_at = Some(Instant::now() + self.backoff.next_delay());
+        if self.max_attempts > 0 && self.backoff.attempts() >= self.max_attempts {
+            self.dead = true;
+        }
+        self.dead
+    }
+
+    /// Records a successful attempt: pacing and the attempt budget
+    /// start over.
+    pub fn success(&mut self) {
+        self.backoff.reset();
+        self.next_at = None;
+        self.dead = false;
+    }
+
+    /// Budget exhausted (only with `max_attempts > 0`).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Consecutive failures so far.
+    pub fn attempts(&self) -> u32 {
+        self.backoff.attempts()
+    }
+
+    /// Synchronous retry loop for a blocking resource (the WAL
+    /// fsync/reopen path): runs `f` until it succeeds or the attempt
+    /// budget dies, sleeping each backoff delay in between. Returns the
+    /// last error when the budget is exhausted. Do not call with
+    /// `max_attempts == 0` unless `f` is guaranteed to eventually
+    /// succeed.
+    pub fn run_blocking<T, E>(&mut self, mut f: impl FnMut() -> Result<T, E>) -> Result<T, E> {
+        loop {
+            match f() {
+                Ok(v) => {
+                    self.success();
+                    return Ok(v);
+                }
+                Err(e) => {
+                    if self.failure() {
+                        return Err(e);
+                    }
+                    if let Some(at) = self.next_at {
+                        let now = Instant::now();
+                        if at > now {
+                            std::thread::sleep(at - now);
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -173,6 +268,52 @@ mod tests {
         };
         assert_eq!(delays(1), delays(1));
         assert_ne!(delays(1), delays(2), "different seeds must decorrelate");
+    }
+
+    #[test]
+    fn retrier_paces_dies_and_resets() {
+        let mut r = Retrier::new(Duration::from_micros(10), Duration::from_micros(100), 3, 2);
+        assert!(r.ready());
+        assert!(!r.failure(), "first failure must not exhaust a 2-budget");
+        assert_eq!(r.attempts(), 1);
+        assert!(r.failure(), "second failure exhausts the budget");
+        assert!(r.is_dead());
+        assert!(!r.ready());
+        r.success();
+        assert!(!r.is_dead());
+        assert_eq!(r.attempts(), 0);
+        assert!(r.ready());
+        // Unbounded budget never dies.
+        let mut open = Retrier::new(Duration::from_micros(1), Duration::from_micros(2), 9, 0);
+        for _ in 0..50 {
+            assert!(!open.failure());
+        }
+        assert!(!open.is_dead());
+    }
+
+    #[test]
+    fn retrier_run_blocking_retries_transients_and_gives_up() {
+        let mut r = Retrier::new(Duration::from_micros(1), Duration::from_micros(10), 5, 4);
+        let mut calls = 0;
+        let got = r.run_blocking(|| {
+            calls += 1;
+            if calls < 3 {
+                Err("transient")
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(got, Ok(3));
+        assert_eq!(r.attempts(), 0, "success resets the budget");
+
+        let mut always = 0;
+        let got: Result<(), &str> = r.run_blocking(|| {
+            always += 1;
+            Err("permanent")
+        });
+        assert_eq!(got, Err("permanent"));
+        assert_eq!(always, 4, "budget of 4 means exactly 4 attempts");
+        assert!(r.is_dead());
     }
 
     #[test]

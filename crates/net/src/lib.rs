@@ -28,9 +28,12 @@
 //!   `ThreadedCluster` drives the same sans-IO peer protocol on real
 //!   OS threads.
 //! * [`backoff`] — the shared pieces every real-socket driver needs:
-//!   jittered exponential [`Backoff`] for reconnect pacing and
-//!   [`SocketStats`], sender-side frame accounting with an exact
-//!   balance identity (the socket-path analogue of
+//!   jittered exponential [`Backoff`] for reconnect pacing, the
+//!   [`Retrier`] state machine wrapping it (attempt budget + pacing
+//!   deadline + dead state, shared by TCP link reconnect and the
+//!   durable catalog's WAL fsync retries), and [`SocketStats`],
+//!   sender-side frame accounting with an exact balance identity (the
+//!   socket-path analogue of
 //!   [`NetStats::balances`](stats::NetStats::balances)). Used by
 //!   `mqp_peer::tcp`.
 
@@ -42,8 +45,8 @@ pub mod stats;
 pub mod threaded;
 pub mod topology;
 
-pub use backoff::{Backoff, SocketStats};
-pub use fault::{ChurnEvent, FaultPlan};
+pub use backoff::{Backoff, Retrier, SocketStats};
+pub use fault::{ChurnEvent, DiskFaults, FaultPlan};
 pub use sim::{Delivery, NodeId, SimNet};
 pub use stats::NetStats;
 pub use topology::Topology;

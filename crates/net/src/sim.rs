@@ -58,6 +58,11 @@ pub struct SimNet<P> {
     faults: Option<FaultState>,
     /// Non-timer messages currently queued (in flight).
     in_flight: usize,
+    /// Plan-driven churn transitions applied by [`SimNet::step`], for
+    /// the host to drain ([`SimNet::drain_churn`]) — how a driver
+    /// learns "node 7 just crashed / just rejoined" so it can run the
+    /// node's own crash/recovery machinery (durable catalog replay).
+    churn_log: Vec<crate::fault::ChurnEvent>,
 }
 
 impl<P> SimNet<P> {
@@ -73,6 +78,7 @@ impl<P> SimNet<P> {
             stats,
             faults: None,
             in_flight: 0,
+            churn_log: Vec::new(),
         }
     }
 
@@ -181,6 +187,7 @@ impl<P> SimNet<P> {
                     } else {
                         self.down.insert(ev.node);
                     }
+                    self.churn_log.push(*ev);
                 }
             }
             let ev = self.queue.pop().expect("peeked above");
@@ -247,6 +254,14 @@ impl<P> SimNet<P> {
     /// Number of messages waiting in flight (timers excluded).
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// Drains the log of plan-driven churn transitions applied since
+    /// the last drain, in application order. Manual [`SimNet::fail`] /
+    /// [`SimNet::recover`] calls are not logged — the caller made those
+    /// itself and can run its own crash/recovery hooks directly.
+    pub fn drain_churn(&mut self) -> Vec<crate::fault::ChurnEvent> {
+        std::mem::take(&mut self.churn_log)
     }
 }
 
@@ -466,6 +481,23 @@ mod tests {
         assert_eq!(s.step().unwrap().payload, 4);
         assert!(!s.is_down(1));
         assert!(s.stats().balances(s.in_flight()));
+        // Both plan-driven transitions were logged, in order, and the
+        // drain is consumed exactly once.
+        let log = s.drain_churn();
+        assert_eq!(log.len(), 2);
+        assert_eq!((log[0].node, log[0].up), (1, false));
+        assert_eq!((log[1].node, log[1].up), (1, true));
+        assert!(s.drain_churn().is_empty());
+    }
+
+    #[test]
+    fn manual_fail_recover_not_in_churn_log() {
+        let mut s = net(2, 10);
+        s.fail(1);
+        s.recover(1);
+        s.send(0, 1, 1, 1);
+        s.drain();
+        assert!(s.drain_churn().is_empty());
     }
 
     #[test]

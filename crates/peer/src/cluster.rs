@@ -32,6 +32,18 @@ use crate::wire::Frame;
 /// timers.
 const IDLE_WAIT: Duration = Duration::from_millis(50);
 
+/// Driver control for a worker, delivered out-of-band of the frame
+/// transport (the same shape the TCP driver uses): crash the peer or
+/// bring it back through the recovery state machine.
+enum Ctl {
+    /// Crash: durable peers lose volatile state and their disk power-
+    /// fails; while down the worker discards every delivered frame.
+    Kill,
+    /// Restart: recover the catalog from the journal and re-announce
+    /// surviving bindings (`rereg`).
+    Restart,
+}
+
 /// Aggregate statistics for a cluster run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ClusterStats {
@@ -54,18 +66,49 @@ struct SharedCounters {
 fn worker_loop(
     mut node: PeerNode,
     endpoint: Endpoint,
+    ctl: Receiver<Ctl>,
     outcomes: Sender<QueryOutcome>,
     counters: Arc<SharedCounters>,
     epoch: Instant,
     service_delay: Duration,
 ) {
     let now_us = || epoch.elapsed().as_micros() as u64;
+    let mut down = false;
     loop {
-        let wait = match node.next_deadline() {
+        // Driver control first: a pending kill must take effect before
+        // the next frame is processed.
+        while let Ok(c) = ctl.try_recv() {
+            match c {
+                Ctl::Kill => {
+                    down = true;
+                    node.crash();
+                }
+                Ctl::Restart => {
+                    if down {
+                        down = false;
+                        let effects = node.recover(now_us());
+                        apply(&endpoint, &outcomes, &counters, effects);
+                    }
+                }
+            }
+        }
+        let wait = match node.next_deadline().filter(|_| !down) {
             Some(d) => Duration::from_micros(d.saturating_sub(now_us())).min(IDLE_WAIT),
             None => IDLE_WAIT,
         };
         let received = endpoint.recv_timeout(wait);
+        if down {
+            // A crashed peer receives nothing: discard deliveries
+            // uncounted (they are lost exactly as on a real network).
+            // Only the driver's stop still applies, so shutdown can
+            // never hang on a dead worker.
+            if let Some(env) = received {
+                if Frame::kind(&env.payload) == "stop" {
+                    return;
+                }
+            }
+            continue;
+        }
         if let Some(env) = received {
             counters.frames.fetch_add(1, Ordering::Relaxed);
             counters
@@ -140,7 +183,7 @@ fn apply(
             // The node's internal watch list is the timer state; the
             // worker loop polls `next_deadline` — nothing to do here.
             Effect::SetTimer { .. } => {}
-            Effect::Register(_) => {}
+            Effect::Register(_) | Effect::Recovered(_) => {}
         }
     }
 }
@@ -207,6 +250,7 @@ impl MqpClient {
 /// (node `n`) for the front-end.
 pub struct ThreadedCluster {
     workers: Vec<JoinHandle<()>>,
+    ctls: Vec<Sender<Ctl>>,
     counters: Arc<SharedCounters>,
     n: usize,
 }
@@ -238,6 +282,7 @@ impl ThreadedCluster {
             retries: AtomicU64::new(0),
         });
         let epoch = Instant::now();
+        let mut ctls = Vec::with_capacity(n);
         let workers = peers
             .into_iter()
             .zip(endpoints)
@@ -247,10 +292,20 @@ impl ThreadedCluster {
                 node.set_retry(retry);
                 let outcomes = tx.clone();
                 let counters = Arc::clone(&counters);
+                let (ctl_tx, ctl_rx) = channel();
+                ctls.push(ctl_tx);
                 std::thread::Builder::new()
                     .name(format!("mqp-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(node, endpoint, outcomes, counters, epoch, service_delay)
+                        worker_loop(
+                            node,
+                            endpoint,
+                            ctl_rx,
+                            outcomes,
+                            counters,
+                            epoch,
+                            service_delay,
+                        )
                     })
                     .expect("spawn worker")
             })
@@ -258,6 +313,7 @@ impl ThreadedCluster {
         (
             ThreadedCluster {
                 workers,
+                ctls,
                 counters,
                 n,
             },
@@ -278,6 +334,22 @@ impl ThreadedCluster {
     /// True when the cluster has no workers.
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// Crashes worker `i` (the API parity twin of
+    /// `TcpCluster::kill`): the peer's volatile state is dropped, a
+    /// durable catalog's disk power-fails, and every frame delivered
+    /// while down is discarded. Asynchronous — the worker notices on
+    /// its next loop iteration (≤ `IDLE_WAIT`).
+    pub fn kill(&self, i: usize) {
+        let _ = self.ctls[i].send(Ctl::Kill);
+    }
+
+    /// Restarts worker `i`: the catalog recovers from its journal
+    /// (prefix-consistent replay) and surviving bindings are
+    /// re-announced as `rereg` frames. A no-op if the worker is up.
+    pub fn restart(&self, i: usize) {
+        let _ = self.ctls[i].send(Ctl::Restart);
     }
 
     /// Statistics so far.
@@ -405,6 +477,67 @@ mod tests {
         cluster.shutdown(&client);
         let done = client.collect(k, Duration::from_millis(100));
         assert_eq!(done.len(), k, "outcomes lost at teardown");
+    }
+
+    /// ThreadedCluster's kill/restart API (the parity twin of
+    /// `TcpCluster`'s) drives the same recovery state machine: a durable
+    /// seller loses its in-memory catalog at kill, recovers it from the
+    /// journal at restart, and serves again audit-clean.
+    #[test]
+    fn durable_peer_survives_kill_restart() {
+        use mqp_catalog::durable::{DurableCatalog, MemDisk, SharedDisk};
+        use mqp_catalog::CatalogEntry;
+        let mut peers = world();
+        peers[2]
+            .catalog_mut()
+            .register(CatalogEntry::index("meta", pdx_cds()));
+        peers[2].enable_durability(DurableCatalog::new(SharedDisk::new(MemDisk::new())));
+        let (cluster, mut client) = ThreadedCluster::new(peers);
+        let plan = Plan::select(
+            "price < 10",
+            Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds()))),
+        );
+        client.submit(0, &plan);
+        let before = client.collect(1, Duration::from_secs(10));
+        assert_eq!(before.len(), 1);
+        assert!(before[0].failure.is_none(), "{:?}", before[0].failure);
+
+        // Power-cycle seller-1; the control messages are async, so give
+        // the worker a loop iteration (≤ IDLE_WAIT) to notice each.
+        cluster.kill(2);
+        std::thread::sleep(Duration::from_millis(120));
+        cluster.restart(2);
+        std::thread::sleep(Duration::from_millis(120));
+
+        client.submit(0, &plan);
+        let done = client.collect(1, Duration::from_secs(10));
+        assert_eq!(done.len(), 1, "query stranded across durable restart");
+        let q = &done[0];
+        assert!(q.failure.is_none(), "{:?}", q.failure);
+        let mut titles: Vec<String> = q.items.iter().filter_map(|i| i.field("title")).collect();
+        titles.sort();
+        assert_eq!(titles, ["A", "C"]);
+        assert_eq!(q.audit_clean, Some(true));
+        cluster.shutdown(&client);
+    }
+
+    /// A volatile peer keeps the legacy interface-outage semantics
+    /// through the same kill/restart API: protocol state survives in
+    /// memory, so a killed-then-restarted peer serves with no journal.
+    #[test]
+    fn volatile_peer_keeps_state_across_kill_restart() {
+        let (cluster, mut client) = ThreadedCluster::new(world());
+        cluster.kill(2);
+        std::thread::sleep(Duration::from_millis(120));
+        cluster.restart(2);
+        std::thread::sleep(Duration::from_millis(120));
+        let qid = client.submit(0, &Plan::url("mqp://seller-1/"));
+        let done = client.collect(1, Duration::from_secs(10));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].qid, qid);
+        assert!(done[0].failure.is_none(), "{:?}", done[0].failure);
+        assert_eq!(done[0].items.len(), 2);
+        cluster.shutdown(&client);
     }
 
     #[test]

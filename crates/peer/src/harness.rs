@@ -295,6 +295,25 @@ impl SimHarness {
                 break;
             };
             handled += 1;
+            // Churn applied during this step drives the recovery state
+            // machine (DESIGN.md §12): a schedule-downed peer crashes
+            // (durable peers lose volatile state), a rejoining one
+            // replays its journal and re-announces surviving bindings.
+            // Volatile peers keep the legacy interface-outage semantics
+            // (both calls are no-ops for them). Unmaterialized nodes
+            // never acted, so there is nothing to crash or recover.
+            for ev in self.net.drain_churn() {
+                if self.nodes[ev.node].is_none() {
+                    continue;
+                }
+                if ev.up {
+                    let now = self.net.now();
+                    let effects = self.ensure(ev.node).recover(now);
+                    self.apply(ev.node, effects);
+                } else {
+                    self.ensure(ev.node).crash();
+                }
+            }
             let at = delivery.at;
             let to = delivery.to;
             let effects = match delivery.payload {
@@ -304,6 +323,25 @@ impl SimHarness {
             self.apply(to, effects);
         }
         handled
+    }
+
+    /// Crashes the peer at `node` by hand: network interface down, and
+    /// (for durable peers) volatile protocol state dropped with the
+    /// journal's disk power-lost. The churn-schedule path does the same
+    /// on a clock.
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.net.fail(node);
+        self.ensure(node).crash();
+    }
+
+    /// Restarts the peer at `node`: interface up, catalog recovered
+    /// from its journal (prefix-consistent replay), surviving bindings
+    /// re-announced as `rereg` frames.
+    pub fn restart_node(&mut self, node: NodeId) {
+        self.net.recover(node);
+        let now = self.net.now();
+        let effects = self.ensure(node).recover(now);
+        self.apply(node, effects);
     }
 
     /// Executes a node's effects, in order (the send/schedule sequence
@@ -336,7 +374,7 @@ impl SimHarness {
                 Effect::Retried { .. } => {
                     self.net.stats_mut().retries += 1;
                 }
-                Effect::Register(_) => {}
+                Effect::Register(_) | Effect::Recovered(_) => {}
                 Effect::Complete(outcome) => {
                     let qid = outcome.qid;
                     self.watch_holder.remove(&qid);
@@ -609,6 +647,154 @@ mod tests {
         assert_eq!(titles, ["A", "C"]);
         assert!(q.retries >= 1);
         assert_eq!(q.audit_clean, Some(true));
+    }
+}
+
+#[cfg(test)]
+mod durable_tests {
+    use super::*;
+    use mqp_algebra::plan::Plan;
+    use mqp_catalog::durable::{DurableCatalog, MemDisk, SharedDisk};
+    use mqp_namespace::{Hierarchy, InterestArea, Namespace, Urn};
+    use mqp_xml::parse;
+
+    fn ns() -> Namespace {
+        Namespace::new([
+            Hierarchy::new("Location").with(["USA/OR/Portland"]),
+            Hierarchy::new("Merchandise").with(["Music/CDs"]),
+        ])
+    }
+
+    fn pdx_cds() -> InterestArea {
+        InterestArea::parse(&[&["USA/OR/Portland", "Music/CDs"]])
+    }
+
+    /// The 4-peer world with a *durable* seller-1 that also knows the
+    /// meta-index, so a restarted seller has someone to re-announce to.
+    fn durable_world() -> SimHarness {
+        let client = Peer::new("client", ns()).with_default_route("meta");
+        let mut meta = Peer::new("meta", ns());
+        let mut s1 = Peer::new("seller-1", ns());
+        s1.add_collection(
+            "cds",
+            pdx_cds(),
+            [
+                parse("<item><title>A</title><price>8</price></item>").unwrap(),
+                parse("<item><title>B</title><price>12</price></item>").unwrap(),
+            ],
+        );
+        s1.catalog_mut()
+            .register(CatalogEntry::index("meta", pdx_cds()));
+        s1.enable_durability(DurableCatalog::new(SharedDisk::new(MemDisk::new())));
+        let mut s2 = Peer::new("seller-2", ns());
+        s2.add_collection(
+            "cds",
+            pdx_cds(),
+            [parse("<item><title>C</title><price>9</price></item>").unwrap()],
+        );
+        meta.catalog_mut().register(s1.base_entry());
+        meta.catalog_mut().register(s2.base_entry());
+        SimHarness::new(
+            Topology::clustered(4, 2, 1_000, 50_000),
+            vec![client, meta, s1, s2],
+        )
+    }
+
+    fn cheap_cds() -> Plan {
+        Plan::select(
+            "price < 10",
+            Plan::Urn(mqp_algebra::plan::UrnRef::new(Urn::area(pdx_cds()))),
+        )
+    }
+
+    fn titles(q: &QueryOutcome) -> Vec<String> {
+        let mut t: Vec<String> = q.items.iter().filter_map(|i| i.field("title")).collect();
+        t.sort();
+        t
+    }
+
+    #[test]
+    fn durable_seller_recovers_catalog_and_reregisters_after_crash() {
+        let mut h = durable_world();
+        h.submit(0, cheap_cds());
+        h.run(1_000);
+        let first = h.take_completed().pop().expect("first query completes");
+        assert!(first.failure.is_none(), "{:?}", first.failure);
+        assert_eq!(titles(&first), ["A", "C"]);
+
+        // Power loss at seller-1: the in-memory catalog is gone, only
+        // the journal survives.
+        h.crash_node(2);
+        assert!(
+            h.peer(2).catalog().entries().is_empty(),
+            "crash must wipe the volatile catalog"
+        );
+
+        // Restart: prefix-consistent replay restores both the seller's
+        // own base entry and its knowledge of the meta-index, and the
+        // surviving bindings go back out as rereg frames (real,
+        // counted traffic).
+        let sent_before = h.net.stats().messages_sent;
+        h.restart_node(2);
+        let entries = h.peer(2).catalog().entries();
+        assert!(entries.iter().any(|e| e.server.as_str() == "seller-1"));
+        assert!(entries.iter().any(|e| e.server.as_str() == "meta"));
+        assert!(
+            h.net.stats().messages_sent > sent_before,
+            "recovery must re-announce over the network"
+        );
+        h.run(100); // deliver the rereg frames (idempotent at meta)
+
+        // The recovered peer serves again, audit-clean.
+        h.submit(0, cheap_cds());
+        h.run(1_000);
+        let second = h.take_completed().pop().expect("second query completes");
+        assert!(second.failure.is_none(), "{:?}", second.failure);
+        assert_eq!(titles(&second), ["A", "C"]);
+        assert_eq!(second.audit_clean, Some(true));
+        assert!(
+            h.net.stats().balances(h.net.in_flight()),
+            "accounting identity must hold with rereg traffic: {:?}",
+            h.net.stats()
+        );
+    }
+
+    #[test]
+    fn churn_schedule_drives_the_same_recovery_machine() {
+        use mqp_net::{ChurnEvent, FaultPlan};
+        // Seller-1 power-cycles on the fault plan's clock instead of by
+        // hand; the run loop's churn drain must crash and recover it.
+        let mut h = durable_world().with_fault_plan(FaultPlan::new(7).with_churn(vec![
+            ChurnEvent {
+                at: 200_000,
+                node: 2,
+                up: false,
+            },
+            ChurnEvent {
+                at: 400_000,
+                node: 2,
+                up: true,
+            },
+        ]));
+        h.submit(0, cheap_cds());
+        h.run(1_000);
+        let first = h.take_completed().pop().expect("pre-churn query");
+        assert_eq!(titles(&first), ["A", "C"]);
+        // Idle ticks to advance the clock through the churn window.
+        while h.net.now() < 500_000 {
+            h.net.schedule(0, 10_000, SimMsg::Tick);
+            h.run(10);
+        }
+        let entries = h.peer(2).catalog().entries();
+        assert!(
+            entries.iter().any(|e| e.server.as_str() == "seller-1"),
+            "rejoin must recover the journaled catalog: {entries:?}"
+        );
+        h.submit(0, cheap_cds());
+        h.run(1_000);
+        let second = h.take_completed().pop().expect("post-churn query");
+        assert!(second.failure.is_none(), "{:?}", second.failure);
+        assert_eq!(titles(&second), ["A", "C"]);
     }
 }
 

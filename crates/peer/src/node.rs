@@ -19,7 +19,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use mqp_algebra::plan::Plan;
-use mqp_catalog::{CatalogEntry, ServerId};
+use mqp_catalog::durable::RecoveryReport;
+use mqp_catalog::{CatalogEntry, Level, ServerId};
 use mqp_core::{Action, Mqp, Outcome, QueryId, QueryOutcome, VisitRecord};
 use mqp_namespace::InterestArea;
 use mqp_net::NodeId;
@@ -191,6 +192,11 @@ pub enum Effect {
         /// The retried query.
         qid: QueryId,
     },
+    /// This node came back from a crash: its durable catalog replayed
+    /// to a prefix-consistent state (the report says how much survived)
+    /// and the accompanying `Send` effects re-announce its bindings as
+    /// `rereg` frames. Observability only.
+    Recovered(RecoveryReport),
 }
 
 /// One armed retry watch: an unacknowledged forward (MQP or result
@@ -284,6 +290,75 @@ impl PeerNode {
         self.watches.iter().map(|w| w.deadline).min()
     }
 
+    /// Simulated power loss. For a peer with a durable catalog
+    /// (DESIGN.md §12) this drops all volatile protocol state — armed
+    /// watches, client bookkeeping, the in-memory catalog — and crashes
+    /// the journal's disk (unsynced WAL tail lost, possibly torn). For
+    /// a legacy volatile peer it is deliberately a no-op: the pre-
+    /// durability kill semantics model an interface outage with memory
+    /// intact, and the existing churn tests and golden traces pin that.
+    pub fn crash(&mut self) {
+        if self.peer.crash_volatile() {
+            self.watches.clear();
+            self.client.clear();
+            self.done.clear();
+        }
+    }
+
+    /// Restart after a crash: recovers the catalog from the journal
+    /// (prefix-consistent replay) and re-announces this peer's own
+    /// surviving bindings as untracked [`Frame::Rereg`] frames to every
+    /// index/meta-index server the recovered catalog knows, plus the
+    /// bootstrap route. Ends with [`Effect::Recovered`] carrying the
+    /// recovery report. Without a journal: nothing to replay, no
+    /// effects — the same recovery state machine, degenerate case.
+    pub fn recover(&mut self, now: u64) -> Vec<Effect> {
+        let Some(report) = self.peer.recover_catalog() else {
+            return Vec::new();
+        };
+        self.peer.set_clock(now);
+        let me = self.peer.id().clone();
+        let mine: Vec<CatalogEntry> = self
+            .peer
+            .catalog()
+            .entries()
+            .iter()
+            .filter(|e| e.server == me)
+            .map(|e| (**e).clone())
+            .collect();
+        // Announcement targets, deduped in catalog order; the bootstrap
+        // route last (a seller's recovered catalog often holds nothing
+        // but its own entries).
+        let mut targets: Vec<ServerId> = Vec::new();
+        for e in self.peer.catalog().entries() {
+            if matches!(e.level, Level::Index | Level::MetaIndex)
+                && e.server != me
+                && !targets.contains(&e.server)
+            {
+                targets.push(e.server.clone());
+            }
+        }
+        if let Some(boot) = self.peer.default_route() {
+            if *boot != me && !targets.contains(boot) {
+                targets.push(boot.clone());
+            }
+        }
+        let mut effects = Vec::new();
+        for target in &targets {
+            let Some(node) = self.directory.node_of(target) else {
+                continue;
+            };
+            for entry in &mine {
+                effects.push(Effect::Send {
+                    to: node,
+                    bytes: Frame::Rereg(entry.clone()).encode(),
+                });
+            }
+        }
+        effects.push(Effect::Recovered(report));
+        effects
+    }
+
     /// Submits a query plan at this node: wraps it in a `Display`
     /// targeting this peer (`<id>#<qid>`), records client-side state,
     /// and emits the initial self-delivery (processing starts at the
@@ -329,8 +404,11 @@ impl PeerNode {
             }
         };
         match frame {
-            Frame::Register(entry) => {
-                self.peer.catalog_mut().register(entry.clone());
+            // A re-registration after crash recovery merges exactly like
+            // a first registration; the distinct tag only matters to
+            // traffic accounting.
+            Frame::Register(entry) | Frame::Rereg(entry) => {
+                self.peer.register_entry(entry.clone());
                 vec![Effect::Register(entry)]
             }
             Frame::Ack { qid } => {

@@ -5,6 +5,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 
 use mqp_algebra::plan::{Plan, UrlRef, UrnRef};
+use mqp_catalog::durable::{CatalogOp, DurableCatalog, RecoveryReport};
 use mqp_catalog::{Catalog, CatalogEntry, ServerId};
 use mqp_core::{Policy, Processor, ServerContext};
 use mqp_namespace::{CategoryPath, InterestArea, Namespace, Urn};
@@ -27,6 +28,11 @@ pub struct Peer {
     default_route: Option<ServerId>,
     /// Simulated clock, set by the harness before each processing step.
     clock_us: Cell<u64>,
+    /// Crash-consistent catalog journal (DESIGN.md §12). `None` = the
+    /// legacy volatile peer: a kill models an interface outage and the
+    /// catalog survives in memory, which is what the pre-durability
+    /// tests and golden traces pin.
+    durable: Option<DurableCatalog>,
 }
 
 impl Peer {
@@ -42,6 +48,7 @@ impl Peer {
             processor: Processor::default(),
             default_route: None,
             clock_us: Cell::new(0),
+            durable: None,
         }
     }
 
@@ -60,6 +67,11 @@ impl Peer {
     /// This peer's id.
     pub fn id(&self) -> &ServerId {
         &self.id
+    }
+
+    /// The bootstrap route, if configured.
+    pub fn default_route(&self) -> Option<&ServerId> {
+        self.default_route.as_ref()
     }
 
     /// The namespace this peer knows (category-server role, §3.5).
@@ -92,6 +104,69 @@ impl Peer {
         self.clock_us.set(us);
     }
 
+    // ------------------------------------------------------------------
+    // Durability (DESIGN.md §12)
+    // ------------------------------------------------------------------
+
+    /// Turns on catalog durability over `journal`, seeding it with a
+    /// snapshot of whatever the catalog already holds. From here on,
+    /// registrations arriving through [`Peer::register_entry`],
+    /// [`Peer::add_collection`] and [`Peer::publish_urn`] are journaled;
+    /// direct [`Peer::catalog_mut`] mutations are deliberately not (the
+    /// volatile escape hatch for caches and test scaffolding).
+    pub fn enable_durability(&mut self, mut journal: DurableCatalog) {
+        // Seeding can only fail on a faulty disk; the journal recovers
+        // whatever prefix survives, which is the contract anyway.
+        let _ = journal.seed(&self.catalog);
+        self.durable = Some(journal);
+    }
+
+    /// The catalog journal, if durability is on.
+    pub fn durable(&self) -> Option<&DurableCatalog> {
+        self.durable.as_ref()
+    }
+
+    /// Journals one op (best-effort past the fsync retry budget:
+    /// degraded durability must not take the live peer down) and
+    /// compacts when the WAL has grown past its threshold.
+    fn journal(&mut self, op: CatalogOp) {
+        if let Some(d) = self.durable.as_mut() {
+            let _ = d.log(&op);
+            let _ = d.maybe_compact(&self.catalog);
+        }
+    }
+
+    /// Registers an entry in the catalog, journaling it when durable —
+    /// the path `reg`/`rereg` frames take at the receiving peer.
+    pub fn register_entry(&mut self, entry: CatalogEntry) {
+        self.catalog.register(entry.clone());
+        self.journal(CatalogOp::Register(entry));
+    }
+
+    /// Simulated power loss. With a journal: the disk crashes (unsynced
+    /// WAL tail lost, possibly torn) and the in-memory catalog is
+    /// dropped; returns `true`. Without one this is a no-op returning
+    /// `false` — the legacy kill models an interface outage, with
+    /// protocol state surviving in memory.
+    pub fn crash_volatile(&mut self) -> bool {
+        let Some(d) = self.durable.as_mut() else {
+            return false;
+        };
+        d.crash();
+        self.catalog = Catalog::new();
+        true
+    }
+
+    /// Crash recovery: replays snapshot + WAL into a fresh catalog,
+    /// truncating at the first torn record (prefix consistency). `None`
+    /// when durability is off or the disk is unreadable.
+    pub fn recover_catalog(&mut self) -> Option<RecoveryReport> {
+        let d = self.durable.as_mut()?;
+        let (catalog, report) = d.recover().ok()?;
+        self.catalog = catalog;
+        Some(report)
+    }
+
     /// Publishes a collection: stores it and registers this peer as a
     /// base server for its area in the local catalog (self-knowledge —
     /// the peer can then bind interest-area URNs to itself).
@@ -106,18 +181,20 @@ impl Peer {
             area: area.clone(),
             items: items.into_iter().collect(),
         });
-        self.catalog
-            .register(CatalogEntry::base(self.id.clone(), area));
+        self.register_entry(CatalogEntry::base(self.id.clone(), area));
     }
 
     /// Maps a named URN (e.g. `urn:ForSale:Portland-CDs`) to one of this
     /// peer's collections.
     pub fn publish_urn(&mut self, urn: &str, collection: &str) {
-        self.catalog.map_urn(
-            urn,
-            self.id.clone(),
-            Some(format!("/data[@id='{collection}']")),
-        );
+        let collection = Some(format!("/data[@id='{collection}']"));
+        self.catalog
+            .map_urn(urn, self.id.clone(), collection.clone());
+        self.journal(CatalogOp::MapUrn {
+            urn: urn.to_owned(),
+            server: self.id.clone(),
+            collection,
+        });
     }
 
     /// The entry another peer should register to know about this peer's

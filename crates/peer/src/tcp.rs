@@ -20,9 +20,9 @@
 //! * **Connection lifecycle.** Links are lazy, unidirectional, and
 //!   self-healing: a peer connects to a destination only when it has a
 //!   frame for it, and a failed connect or dropped connection moves the
-//!   link to jittered exponential [`Backoff`] before the next attempt.
-//!   Replies travel on the *replier's* own outbound link, never back
-//!   down the inbound connection.
+//!   link to a jittered exponential-backoff [`Retrier`] before the next
+//!   attempt. Replies travel on the *replier's* own outbound link,
+//!   never back down the inbound connection.
 //! * **Backpressure.** Write queues are bounded and drop-newest: a slow
 //!   or dead destination costs the sender a counter
 //!   ([`SocketStats::dropped_backpressure`]), never a blocked protocol
@@ -30,11 +30,15 @@
 //!   whatever the transport sheds.
 //! * **Churn.** [`TcpCluster::kill`] models a network-interface cut:
 //!   the listener closes, every connection drops, queued frames are
-//!   abandoned — but the `PeerNode` (watches included) survives, so
-//!   [`TcpCluster::restart`] brings the peer back on a fresh port and
-//!   pending retries fire immediately. This mirrors the simulator's
-//!   `fail`/`recover`, which is what keeps the three drivers
-//!   equivalent under churn.
+//!   abandoned — but a volatile `PeerNode` (watches included) survives,
+//!   so [`TcpCluster::restart`] brings the peer back on a fresh port
+//!   and pending retries fire immediately. A *durable* peer (one with
+//!   [`Peer::enable_durability`]) additionally models process death:
+//!   kill wipes its in-memory catalog, and restart replays the WAL
+//!   through the shared recovery state machine and re-registers the
+//!   surviving bindings over `rereg` frames. This mirrors the
+//!   simulator's `fail`/`recover`, which is what keeps the three
+//!   drivers equivalent under churn.
 //!
 //! Accounting is exact: every frame a peer hands the transport lands in
 //! precisely one of `frames_sent`, `dropped_backpressure`,
@@ -54,7 +58,7 @@ use std::time::{Duration, Instant};
 use mqp_algebra::plan::Plan;
 use mqp_catalog::ServerId;
 use mqp_core::{Mqp, QueryId, QueryOutcome};
-use mqp_net::{Backoff, NodeId, SocketStats};
+use mqp_net::{NodeId, Retrier, SocketStats};
 
 use crate::framing::{encode_frame, FrameDecoder};
 use crate::node::{Directory, Effect, PeerNode, RetryPolicy};
@@ -191,17 +195,15 @@ enum Ctl {
 struct Link {
     to: NodeId,
     conn: Option<Conn>,
-    /// Next connect attempt no sooner than this.
-    retry_at: Instant,
-    backoff: Backoff,
+    /// Reconnect pacing and the `max_link_attempts` budget; once dead,
+    /// enqueues drop as disconnected.
+    retry: Retrier,
     /// Framed (length-prefixed) frames awaiting flush.
     queue: VecDeque<Vec<u8>>,
     /// Bytes of `queue.front()` already written (reset on disconnect:
     /// the replacement connection resends the frame from byte 0 and the
     /// old connection's receiver discards the partial tail at EOF).
     cursor: usize,
-    /// Past `max_link_attempts`: enqueues drop as disconnected.
-    dead: bool,
 }
 
 /// An established outbound connection. `hello` flushes before anything
@@ -218,15 +220,14 @@ impl Link {
         Link {
             to,
             conn: None,
-            retry_at: Instant::now(),
-            backoff: Backoff::new(
+            retry: Retrier::new(
                 cfg.backoff_base,
                 cfg.backoff_cap,
                 cfg.seed ^ ((me as u64) << 32) ^ to as u64,
+                cfg.max_link_attempts,
             ),
             queue: VecDeque::new(),
             cursor: 0,
-            dead: false,
         }
     }
 
@@ -240,11 +241,11 @@ impl Link {
         stats: &Counters,
         hello: &[u8],
     ) -> bool {
-        if self.dead || self.queue.is_empty() {
+        if self.retry.is_dead() || self.queue.is_empty() {
             return false;
         }
         if self.conn.is_none() {
-            if Instant::now() < self.retry_at {
+            if !self.retry.ready() {
                 return false;
             }
             let Some(addr) = addrs.get(self.to) else {
@@ -252,7 +253,7 @@ impl Link {
                 // failed attempt too, otherwise an addr-less link would
                 // spin without ever backing off or going dead.
                 Counters::add(&stats.disconnects, 1);
-                self.note_failure(cfg, stats);
+                self.note_failure(stats);
                 return false;
             };
             match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
@@ -260,7 +261,7 @@ impl Link {
                     stream.set_nodelay(true).ok();
                     stream.set_nonblocking(true).expect("set_nonblocking");
                     Counters::add(&stats.connects, 1);
-                    self.backoff.reset();
+                    self.retry.success();
                     self.cursor = 0;
                     self.conn = Some(Conn {
                         stream,
@@ -270,7 +271,7 @@ impl Link {
                 }
                 Err(_) => {
                     Counters::add(&stats.disconnects, 1);
-                    self.note_failure(cfg, stats);
+                    self.note_failure(stats);
                     return false;
                 }
             }
@@ -278,7 +279,7 @@ impl Link {
         match self.pump(stats) {
             Ok(progressed) => progressed,
             Err(()) => {
-                self.drop_conn(cfg, stats);
+                self.drop_conn(stats);
                 true
             }
         }
@@ -337,17 +338,17 @@ impl Link {
         Ok(progressed)
     }
 
-    fn drop_conn(&mut self, cfg: &TcpConfig, stats: &Counters) {
+    fn drop_conn(&mut self, stats: &Counters) {
         self.conn = None;
         self.cursor = 0; // resend the interrupted frame whole
         Counters::add(&stats.disconnects, 1);
-        self.note_failure(cfg, stats);
+        self.note_failure(stats);
     }
 
-    fn note_failure(&mut self, cfg: &TcpConfig, stats: &Counters) {
-        self.retry_at = Instant::now() + self.backoff.next_delay();
-        if cfg.max_link_attempts > 0 && self.backoff.attempts() >= cfg.max_link_attempts {
-            self.dead = true;
+    fn note_failure(&mut self, stats: &Counters) {
+        if self.retry.failure() {
+            // Budget exhausted: shed the queue as disconnected. This
+            // fires once — a dead link never advances again.
             let n = self.queue.len() as u64;
             self.queue.clear();
             self.cursor = 0;
@@ -503,9 +504,11 @@ impl PeerThread {
     }
 
     /// Network interface down: listener closed, address unpublished,
-    /// every connection cut, queued frames abandoned. The `PeerNode` —
-    /// store, catalog, and retry watches — is untouched, exactly like
-    /// the simulator's `fail`.
+    /// every connection cut, queued frames abandoned. A volatile
+    /// `PeerNode` — store, catalog, and retry watches — is untouched,
+    /// exactly like the simulator's `fail`; a durable peer additionally
+    /// loses its in-memory catalog to `PeerNode::crash` (process
+    /// death), leaving only what its disk carries.
     fn go_down(&mut self) {
         self.addrs.unpublish(self.me);
         self.listener = None;
@@ -514,11 +517,15 @@ impl PeerThread {
             link.abandon(&self.stats);
         }
         self.local.clear();
+        self.node.crash();
         self.down = true;
     }
 
     /// Interface back up, on a fresh port. Watches that expired while
-    /// down fire on the first tick after this.
+    /// down fire on the first tick after this. A durable peer first
+    /// replays its WAL through `PeerNode::recover`; the resulting
+    /// `rereg` frames flow through the normal enqueue path, so they
+    /// enter the `SocketStats` identity like any other frame.
     fn come_up(&mut self) {
         if !self.down {
             return;
@@ -531,6 +538,9 @@ impl PeerThread {
             .publish(self.me, listener.local_addr().expect("listener addr"));
         self.listener = Some(listener);
         self.down = false;
+        let now = self.now_us();
+        let effects = self.node.recover(now);
+        self.apply(effects);
     }
 
     fn accept_new(&mut self) -> bool {
@@ -662,8 +672,9 @@ impl PeerThread {
                     Counters::add(&self.stats.retries, 1);
                 }
                 // The node's watch list is the timer state; the loop
-                // polls `next_deadline`. Registrations already applied.
-                Effect::SetTimer { .. } | Effect::Register(_) => {}
+                // polls `next_deadline`. Registrations and recovery
+                // reports are already applied peer-side.
+                Effect::SetTimer { .. } | Effect::Register(_) | Effect::Recovered(_) => {}
             }
         }
     }
@@ -682,7 +693,7 @@ impl PeerThread {
         // the ones dropped on the spot — that is what makes the balance
         // identity an identity.
         Counters::add(&self.stats.frames_enqueued, 1);
-        if link.dead {
+        if link.retry.is_dead() {
             Counters::add(&self.stats.dropped_disconnected, 1);
             return;
         }
@@ -794,12 +805,15 @@ impl TcpCluster {
     }
 
     /// Cuts peer `i` off the network (listener closed, connections
-    /// dropped, queues abandoned); its protocol state survives.
+    /// dropped, queues abandoned). A volatile peer's protocol state
+    /// survives; a durable peer loses its in-memory catalog and keeps
+    /// only what its disk carries.
     pub fn kill(&self, i: NodeId) {
         let _ = self.ctls[i].send(Ctl::Kill);
     }
 
-    /// Brings a killed peer back on a fresh port.
+    /// Brings a killed peer back on a fresh port; a durable peer
+    /// replays its WAL and re-registers surviving bindings first.
     pub fn restart(&self, i: NodeId) {
         let _ = self.ctls[i].send(Ctl::Restart);
     }

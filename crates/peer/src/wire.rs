@@ -87,6 +87,12 @@ pub enum Frame {
     /// Catalog registration (a base/index server announcing itself,
     /// §3.2/§3.3).
     Register(CatalogEntry),
+    /// Re-registration after crash recovery: a restarted peer replaying
+    /// its WAL announces its surviving bindings again. Semantically a
+    /// [`Frame::Register`] (receivers merge identically) under a
+    /// distinct tag so experiments can count recovery traffic; charged
+    /// like `reg`.
+    Rereg(CatalogEntry),
     /// Delivery acknowledgement for the watched forward of `qid`. The
     /// simulator driver short-circuits these (delivery *is* the ack
     /// there); the threaded cluster ships them for real.
@@ -137,6 +143,44 @@ fn num(t: &str) -> Result<u64, String> {
 
 fn fmt_qid(q: Option<QueryId>) -> String {
     q.map(|q| q.to_string()).unwrap_or_else(|| "-".to_owned())
+}
+
+/// Shared body for `reg`/`rereg`: same field layout, different tag.
+fn encode_reg(tag: &str, e: &CatalogEntry) -> String {
+    let collection = e.collection.as_deref().unwrap_or("");
+    debug_assert!(
+        !e.server.as_str().contains('\n') && !collection.contains('\n'),
+        "registration fields must be single-line"
+    );
+    format!(
+        "{tag} {} {} {}\n{}\n{}\n{collection}",
+        e.level.name(),
+        u8::from(e.authoritative),
+        u8::from(e.collection.is_some()),
+        e.server.as_str(),
+        encode_area(&e.area),
+    )
+}
+
+/// Shared decode for `reg`/`rereg` headers and payloads.
+fn decode_reg(tokens: &[&str], payload: &str, header: &str) -> Result<CatalogEntry, String> {
+    if tokens.len() < 4 {
+        return Err(format!("truncated reg header {header:?}"));
+    }
+    let level = Level::parse(tokens[1]).ok_or_else(|| format!("bad level {:?}", tokens[1]))?;
+    let authoritative = tokens[2] == "1";
+    let has_collection = tokens[3] == "1";
+    let mut lines = payload.splitn(3, '\n');
+    let server = lines.next().ok_or("reg missing server line")?;
+    let area_spec = lines.next().ok_or("reg missing area line")?;
+    let collection = lines.next().unwrap_or("");
+    Ok(CatalogEntry {
+        server: ServerId::new(server),
+        level,
+        area: decode_area(area_spec).map_err(|e| format!("bad area: {e:?}"))?,
+        collection: has_collection.then(|| collection.to_owned()),
+        authoritative,
+    })
 }
 
 impl Meter {
@@ -190,21 +234,8 @@ impl Frame {
                     f.items
                 )
             }
-            Frame::Register(e) => {
-                let collection = e.collection.as_deref().unwrap_or("");
-                debug_assert!(
-                    !e.server.as_str().contains('\n') && !collection.contains('\n'),
-                    "registration fields must be single-line"
-                );
-                format!(
-                    "reg {} {} {}\n{}\n{}\n{collection}",
-                    e.level.name(),
-                    u8::from(e.authoritative),
-                    u8::from(e.collection.is_some()),
-                    e.server.as_str(),
-                    encode_area(&e.area),
-                )
-            }
+            Frame::Register(e) => encode_reg("reg", e),
+            Frame::Rereg(e) => encode_reg("rereg", e),
             Frame::Ack { qid } => format!("ack {qid}\n"),
             Frame::Submit { qid, plan } => format!("sub {qid}\n{plan}"),
             Frame::Stop => "stop\n".to_owned(),
@@ -262,26 +293,8 @@ impl Frame {
                     items: payload.to_owned(),
                 }))
             }
-            "reg" => {
-                if tokens.len() < 4 {
-                    return Err(format!("truncated reg header {header:?}"));
-                }
-                let level =
-                    Level::parse(tokens[1]).ok_or_else(|| format!("bad level {:?}", tokens[1]))?;
-                let authoritative = tokens[2] == "1";
-                let has_collection = tokens[3] == "1";
-                let mut lines = payload.splitn(3, '\n');
-                let server = lines.next().ok_or("reg missing server line")?;
-                let area_spec = lines.next().ok_or("reg missing area line")?;
-                let collection = lines.next().unwrap_or("");
-                Ok(Frame::Register(CatalogEntry {
-                    server: ServerId::new(server),
-                    level,
-                    area: decode_area(area_spec).map_err(|e| format!("bad area: {e:?}"))?,
-                    collection: has_collection.then(|| collection.to_owned()),
-                    authoritative,
-                }))
-            }
+            "reg" => decode_reg(&tokens, payload, header).map(Frame::Register),
+            "rereg" => decode_reg(&tokens, payload, header).map(Frame::Rereg),
             "ack" => {
                 if tokens.len() < 2 {
                     return Err(format!("truncated ack header {header:?}"));
@@ -338,7 +351,7 @@ pub fn charge(bytes: &[u8]) -> usize {
     match Frame::kind(bytes) {
         "mqp" => payload.len(),
         "res" => payload.len() + 32,
-        "reg" => {
+        "reg" | "rereg" => {
             // server-id line + encoded-area line + level/flags overhead.
             let mut lines = payload.split(|&b| b == b'\n');
             let server = lines.next().map(<[u8]>::len).unwrap_or(0);
@@ -425,6 +438,17 @@ mod tests {
             let legacy = entry.server.as_str().len() + encode_area(&entry.area).len() + 16;
             assert_eq!(charge(&bytes), legacy, "entry {entry:?}");
         }
+    }
+
+    #[test]
+    fn rereg_frame_roundtrips_and_charges_like_reg() {
+        let entry = CatalogEntry::base("seller-1", area()).with_collection("/data[@id='1']");
+        let re = Frame::Rereg(entry.clone()).encode();
+        assert_eq!(Frame::kind(&re), "rereg");
+        assert_eq!(Frame::decode(&re).unwrap(), Frame::Rereg(entry.clone()));
+        // Identical logical charge: recovery traffic bills like first
+        // registration.
+        assert_eq!(charge(&re), charge(&Frame::Register(entry).encode()));
     }
 
     #[test]

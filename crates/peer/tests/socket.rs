@@ -7,6 +7,8 @@
 use std::time::Duration;
 
 use mqp_algebra::plan::Plan;
+use mqp_catalog::durable::{DurableCatalog, MemDisk, SharedDisk};
+use mqp_catalog::CatalogEntry;
 use mqp_core::QueryId;
 use mqp_namespace::{Hierarchy, InterestArea, Namespace};
 use mqp_peer::node::RetryPolicy;
@@ -146,6 +148,52 @@ fn churn_mid_stream_loses_nothing() {
     let stats = cluster.shutdown(&mut client);
     assert!(stats.connects >= 2, "restart must reconnect links");
     assert!(stats.balances(0), "unbalanced: {stats:?}");
+}
+
+/// A *durable* peer models process death, not just an interface cut:
+/// the kill wipes its in-memory catalog, and the restart replays the
+/// WAL (prefix-consistent), re-announces the surviving bindings as
+/// `rereg` frames through the normal transport accounting, and serves
+/// queries audit-clean again.
+#[test]
+fn durable_peer_recovers_registrations_across_kill_restart() {
+    let mut peers = world();
+    // seller-0 journals its catalog — which holds its own base entry
+    // plus knowledge of the meta-index, so a restarted seller has
+    // somewhere to re-announce to.
+    peers[SELLER_0]
+        .catalog_mut()
+        .register(CatalogEntry::index("meta", pdx_cds()));
+    peers[SELLER_0].enable_durability(DurableCatalog::new(SharedDisk::new(MemDisk::new())));
+    let (cluster, mut client) = TcpCluster::with_config(peers, churn_config());
+
+    let plan = Plan::url("mqp://seller-0/");
+    client.submit(0, &plan);
+    let before = client.collect(1, Duration::from_secs(30));
+    assert_eq!(before.len(), 1);
+    assert!(before[0].failure.is_none(), "{:?}", before[0].failure);
+
+    cluster.kill(SELLER_0);
+    settle();
+    cluster.restart(SELLER_0);
+    settle(); // recovery replay + rereg frames to meta
+
+    let qid = client.submit(0, &plan);
+    let done = client.collect(1, Duration::from_secs(30));
+    assert_eq!(done.len(), 1, "query stranded across durable restart");
+    let q = &done[0];
+    assert_eq!(q.qid, qid);
+    assert!(q.failure.is_none(), "{:?}", q.failure);
+    let titles: Vec<String> = q.items.iter().filter_map(|i| i.field("title")).collect();
+    assert_eq!(titles, ["A"], "recovered seller must serve its own data");
+    assert_eq!(q.audit_clean, Some(true));
+    let stats = cluster.shutdown(&mut client);
+    // The rereg announcements are real frames through the normal
+    // enqueue path, so the sender-side identity must still be exact.
+    assert!(
+        stats.balances(0),
+        "unbalanced with rereg traffic: {stats:?}"
+    );
 }
 
 /// With a finite reconnect budget, frames for a peer that never comes

@@ -197,6 +197,78 @@ fn threaded_outcomes_are_stable_across_runs() {
     assert_eq!(run(), run());
 }
 
+/// The threaded and socket drivers expose the same kill/restart API
+/// and drive the same recovery state machine (DESIGN.md §12): the same
+/// kill/restart schedule against the same durable world yields the
+/// same outcome fingerprints — answers, failure reasons, and audit
+/// verdicts — before and after the power cycle. Hop and retry counts
+/// are excluded: wall-clock churn timing may legitimately shift them
+/// between drivers.
+#[test]
+fn threaded_and_tcp_agree_under_durable_kill_restart() {
+    use mqp::catalog::durable::{DurableCatalog, MemDisk, SharedDisk};
+
+    // seller-0 (node 3) journals its catalog, so kill models process
+    // death — the in-memory catalog is wiped and must recover from the
+    // WAL — instead of the volatile interface cut.
+    fn durable_world() -> Vec<Peer> {
+        let mut peers = world();
+        peers[3].enable_durability(DurableCatalog::new(SharedDisk::new(MemDisk::new())));
+        peers
+    }
+    fn relaxed(q: &mqp::core::QueryOutcome) -> (Option<String>, Vec<String>, Option<bool>) {
+        let mut items: Vec<String> = q.items.iter().map(mqp::xml::serialize).collect();
+        items.sort();
+        (q.failure.clone(), items, q.audit_clean)
+    }
+    let plan = Plan::select("price < 50", Plan::url("mqp://seller-0/"));
+    let settle = || std::thread::sleep(Duration::from_millis(120));
+
+    let (cluster, mut client) = ThreadedCluster::new(durable_world());
+    client.submit(0, &plan);
+    let thr_before = client.collect(1, Duration::from_secs(30));
+    cluster.kill(3);
+    settle();
+    cluster.restart(3);
+    settle();
+    client.submit(0, &plan);
+    let thr_after = client.collect(1, Duration::from_secs(30));
+    cluster.shutdown(&client);
+    assert_eq!(thr_before.len(), 1, "threaded pre-churn query stranded");
+    assert_eq!(thr_after.len(), 1, "threaded post-churn query stranded");
+
+    let (tcp, mut tcp_client) = TcpCluster::new(durable_world());
+    tcp_client.submit(0, &plan);
+    let tcp_before = tcp_client.collect(1, Duration::from_secs(30));
+    tcp.kill(3);
+    settle();
+    tcp.restart(3);
+    settle();
+    tcp_client.submit(0, &plan);
+    let tcp_after = tcp_client.collect(1, Duration::from_secs(30));
+    let stats = tcp.shutdown(&mut tcp_client);
+    assert_eq!(tcp_before.len(), 1, "tcp pre-churn query stranded");
+    assert_eq!(tcp_after.len(), 1, "tcp post-churn query stranded");
+    assert!(stats.balances(0), "unbalanced: {stats:?}");
+
+    assert_eq!(
+        relaxed(&thr_before[0]),
+        relaxed(&tcp_before[0]),
+        "pre-churn outcomes diverged"
+    );
+    assert_eq!(
+        relaxed(&thr_after[0]),
+        relaxed(&tcp_after[0]),
+        "post-churn outcomes diverged"
+    );
+    // And the recovered peer really answered: both cheap CDs, clean.
+    let q = &thr_after[0];
+    assert!(q.failure.is_none(), "{:?}", q.failure);
+    let (_, items, audit) = relaxed(q);
+    assert_eq!(items.len(), 2, "recovered seller must serve its stock");
+    assert_eq!(audit, Some(true));
+}
+
 /// Same stability property on the socket host: repeated runs with the
 /// whole workload tripled and in flight at once produce identical
 /// outcome multisets, with exact frame accounting every time.
