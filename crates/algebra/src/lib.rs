@@ -14,6 +14,8 @@
 //!   form used in plan XML attributes.
 //! * [`codec`] — the XML wire format: `Plan ↔ Element` both ways
 //!   (property-tested round trip).
+//! * [`render`] — the parseable pipeline pretty-printer (`mqp-lang`'s
+//!   concrete syntax), used in error messages and golden traces.
 //! * Structural utilities: node addressing ([`NodePath`]), substitution
 //!   (how servers splice results over evaluated sub-plans), leaf
 //!   collection, and size accounting.
@@ -23,6 +25,7 @@
 pub mod codec;
 pub mod plan;
 pub mod predicate;
+pub mod render;
 
 pub use codec::{plan_from_xml, plan_to_xml, CodecError};
 pub use plan::{Annotations, JoinCond, NodePath, Plan, UrlRef, UrnRef};

@@ -34,7 +34,8 @@
 //!   `BENCH_scale.json` at the workspace root;
 //! * `--check` — re-measure and fail (exit 1) unless the fresh
 //!   speedups meet the committed floors (≥ 3× zero-copy parse, ≥ 2×
-//!   per-hop serialize; ≥ 3× batched reduce, ≥ 2× join probe), the
+//!   per-hop serialize; ≥ 3× batched reduce, ≥ 2× join probe; ≥ 10
+//!   MB/s mqp-lang compile throughput), the
 //!   capacities meet theirs (≥ 100k peers/GB, ≥ 1M events/sec), and
 //!   everything is within 20% of the committed values (the CI
 //!   `perf-report` regression gate, with large values capped before
@@ -77,6 +78,13 @@ const SERIALIZE_FLOOR: f64 = 2.0;
 /// Engine floors: batched-vs-legacy reduce, and join probe throughput.
 const REDUCE_FLOOR: f64 = 3.0;
 const JOIN_FLOOR: f64 = 2.0;
+/// Language floor: absolute compile throughput (MB of query text per
+/// second) for the surface syntax. Compiling does strictly more work
+/// than the zero-copy XML wire parse it sits next to in the report —
+/// predicates, paths, and URNs are fully validated and a span table is
+/// built — so the gate is a throughput floor, not a speedup ratio; the
+/// `xml_parse_us` column stays as context.
+const LANG_MBPS_FLOOR: f64 = 10.0;
 /// Allowed drift versus the committed ratios before `--check` fails.
 const DRIFT: f64 = 0.20;
 
@@ -378,6 +386,10 @@ struct EngineReport {
     reduce_batched_ms: f64,
     probe_legacy_kitems_s: f64,
     probe_batched_kitems_s: f64,
+    lang_text_bytes: usize,
+    lang_wire_bytes: usize,
+    lang_xml_parse_us: f64,
+    lang_compile_us: f64,
 }
 
 impl EngineReport {
@@ -387,6 +399,11 @@ impl EngineReport {
 
     fn join_probe_speedup(&self) -> f64 {
         self.probe_batched_kitems_s / self.probe_legacy_kitems_s
+    }
+
+    /// Query-text compile throughput in MB/s (bytes per microsecond).
+    fn lang_compile_mb_s(&self) -> f64 {
+        self.lang_text_bytes as f64 / self.lang_compile_us
     }
 
     fn to_json(&self) -> String {
@@ -429,10 +446,22 @@ impl EngineReport {
             false,
         );
         section(
+            "lang",
+            &[
+                ("query_text_bytes", self.lang_text_bytes.to_string()),
+                ("xml_wire_bytes", self.lang_wire_bytes.to_string()),
+                ("xml_parse_us", f(self.lang_xml_parse_us)),
+                ("compile_us", f(self.lang_compile_us)),
+                ("compile_mb_s", f(self.lang_compile_mb_s())),
+            ],
+            false,
+        );
+        section(
             "floors",
             &[
                 ("reduce_speedup_min", f(REDUCE_FLOOR)),
                 ("join_probe_speedup_min", f(JOIN_FLOOR)),
+                ("lang_compile_mb_s_min", f(LANG_MBPS_FLOOR)),
             ],
             true,
         );
@@ -484,6 +513,45 @@ fn measure_engine() -> EngineReport {
         },
     );
 
+    // Language front-end: compile throughput of the surface syntax vs
+    // parsing the XML wire form of the *same* logical plan — a
+    // structurally rich, data-free query (the shape a person authors:
+    // a 64-way union of filtered URN sources under a topn). Both sides
+    // produce the identical `Plan`, so the ratio is a pure front-end
+    // comparison on the same machine in the same run.
+    let lang_plan = {
+        let branches: Vec<Plan> = (0..64)
+            .map(|i| {
+                Plan::select(
+                    &format!("price < {}", 10 + i),
+                    Plan::Urn(mqp_algebra::plan::UrnRef::new(mqp_namespace::Urn::named(
+                        "ForSale",
+                        format!("city-{i}"),
+                    ))),
+                )
+            })
+            .collect();
+        Plan::top_n(10, "price", true, Plan::union(branches))
+    };
+    let lang_text = lang_plan.render();
+    let lang_wire = to_wire(&lang_plan);
+    const LANG_REPS: usize = 50;
+    let (lang_xml_parse, lang_compile) = time_best_pair(
+        2 * ITERS,
+        || {
+            for _ in 0..LANG_REPS {
+                std::hint::black_box(
+                    mqp_algebra::codec::from_wire(&lang_wire).expect("wire reparse"),
+                );
+            }
+        },
+        || {
+            for _ in 0..LANG_REPS {
+                std::hint::black_box(mqp_lang::parse_query(&lang_text).expect("text compiles"));
+            }
+        },
+    );
+
     EngineReport {
         reduce_items,
         probe_items,
@@ -491,6 +559,10 @@ fn measure_engine() -> EngineReport {
         reduce_batched_ms: reduce_batched * 1e3,
         probe_legacy_kitems_s: probe_items as f64 / 1e3 / probe_legacy,
         probe_batched_kitems_s: probe_items as f64 / 1e3 / probe_batched,
+        lang_text_bytes: lang_text.len(),
+        lang_wire_bytes: lang_wire.len(),
+        lang_xml_parse_us: lang_xml_parse / LANG_REPS as f64 * 1e6,
+        lang_compile_us: lang_compile / LANG_REPS as f64 * 1e6,
     }
 }
 
@@ -598,6 +670,7 @@ fn check_engine(report: &EngineReport) -> Result<(), String> {
         ("workload", "items"),
         ("reduce", "speedup"),
         ("join_probe", "speedup"),
+        ("lang", "compile_mb_s"),
         ("floors", "reduce_speedup_min"),
     ] {
         if json_f64(&committed, section, key).is_none() {
@@ -608,24 +681,46 @@ fn check_engine(report: &EngineReport) -> Result<(), String> {
         }
     }
     let mut failures = Vec::new();
-    let mut gate = |name: &str, fresh: f64, floor: f64| {
-        let committed_ratio = json_f64(&committed, name, "speedup").unwrap_or(floor);
+    // `unit` is a display suffix only: "x" for speedup ratios,
+    // " MB/s" for the lang compile throughput.
+    let mut gate = |name: &str, key: &str, unit: &str, fresh: f64, floor: f64| {
+        let committed_ratio = json_f64(&committed, name, key).unwrap_or(floor);
         // Same capping rule as the wire gate: a huge committed ratio
         // wobbles with the machine; only collapsing toward the floor
         // counts as a regression.
         let min_allowed = floor.max(committed_ratio.min(4.0 * floor) * (1.0 - DRIFT));
         eprintln!(
-            "perf-report: engine {name}: fresh {fresh:.2}x (committed {committed_ratio:.2}x, \
-             floor {floor:.1}x, regression gate {min_allowed:.2}x)"
+            "perf-report: engine {name}: fresh {fresh:.2}{unit} (committed \
+             {committed_ratio:.2}{unit}, floor {floor:.1}{unit}, regression gate \
+             {min_allowed:.2}{unit})"
         );
         if fresh < min_allowed {
             failures.push(format!(
-                "engine {name} speedup {fresh:.2}x below gate {min_allowed:.2}x"
+                "engine {name} {key} {fresh:.2}{unit} below gate {min_allowed:.2}{unit}"
             ));
         }
     };
-    gate("reduce", report.reduce_speedup(), REDUCE_FLOOR);
-    gate("join_probe", report.join_probe_speedup(), JOIN_FLOOR);
+    gate(
+        "reduce",
+        "speedup",
+        "x",
+        report.reduce_speedup(),
+        REDUCE_FLOOR,
+    );
+    gate(
+        "join_probe",
+        "speedup",
+        "x",
+        report.join_probe_speedup(),
+        JOIN_FLOOR,
+    );
+    gate(
+        "lang",
+        "compile_mb_s",
+        " MB/s",
+        report.lang_compile_mb_s(),
+        LANG_MBPS_FLOOR,
+    );
     if failures.is_empty() {
         Ok(())
     } else {

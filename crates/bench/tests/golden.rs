@@ -110,6 +110,7 @@ golden! {
     golden_currency_latency => exp_currency_latency,
     golden_provenance_spoofing => exp_provenance_spoofing,
     golden_index_detail_tradeoff => exp_index_detail_tradeoff,
+    golden_lang => exp_lang,
     golden_churn_resilience => exp_churn_resilience,
     golden_scale => exp_scale,
     golden_socket_soak => exp_socket_soak,

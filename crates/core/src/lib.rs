@@ -34,6 +34,7 @@ pub mod processor;
 pub mod provenance;
 pub mod query;
 pub mod rewrite;
+pub mod rules;
 
 pub use constraints::Constraints;
 pub use mqp::Mqp;
@@ -41,3 +42,4 @@ pub use policy::Policy;
 pub use processor::{Outcome, Processor, ServerContext};
 pub use provenance::{unaccounted_sources, verification_query, Action, VisitRecord};
 pub use query::{QueryId, QueryOutcome};
+pub use rules::{Cond, Decision, Rule, RuleAction, RuleCtx, RuleSet};

@@ -6,7 +6,7 @@ use mqp_catalog::Preference;
 use mqp_engine::Estimate;
 
 /// Per-server processing policy.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Policy {
     /// Completeness/currency/latency preference for `Or` commitment
     /// (§4.3's "binary preference").
@@ -83,6 +83,13 @@ impl Policy {
     /// are). `Current` minimizes (staleness, fanout); `Fast` minimizes
     /// (fanout, staleness). Fanout is the number of remote leaves in the
     /// alternative — the latency proxy of §4.3.
+    ///
+    /// **Tie-break (guaranteed):** when two alternatives compare equal
+    /// on the preference key, the one with the *lowest index* wins —
+    /// the index is the final component of the comparison key, so the
+    /// choice is a pure function of `(preference, max_staleness, alts)`
+    /// and is identical across the sim, threaded, and TCP drivers. DSL
+    /// `choose` actions rely on this stability.
     pub fn choose_or(&self, alts: &[OrAlt]) -> usize {
         let fanout = |p: &Plan| p.urls().len() + p.urns().len();
         let staleness = |a: &OrAlt| a.staleness.unwrap_or(0);
@@ -171,6 +178,53 @@ mod tests {
         assert!(p.should_evaluate(huge, 100, true));
         // A reduction that shrinks the plan always proceeds.
         assert!(p.should_evaluate(huge, 2_000_000_000, false));
+    }
+
+    #[test]
+    fn tie_break_is_lowest_index_for_both_preferences() {
+        // Three alternatives with identical staleness and fanout: the
+        // key tuples are equal except for the index component, so the
+        // first one must win under either preference.
+        let tied = vec![
+            OrAlt::stale(Plan::url("mqp://a/"), 5),
+            OrAlt::stale(Plan::url("mqp://b/"), 5),
+            OrAlt::stale(Plan::url("mqp://c/"), 5),
+        ];
+        assert_eq!(Policy::current().choose_or(&tied), 0);
+        assert_eq!(Policy::fast().choose_or(&tied), 0);
+
+        // Tie on the primary key only: Current breaks the staleness tie
+        // on fanout, then index; Fast breaks the fanout tie on
+        // staleness, then index.
+        let partial = vec![
+            OrAlt::stale(
+                Plan::union([Plan::url("mqp://a/"), Plan::url("mqp://b/")]),
+                5,
+            ),
+            OrAlt::stale(Plan::url("mqp://c/"), 5),
+            OrAlt::stale(Plan::url("mqp://d/"), 5),
+        ];
+        // Same staleness everywhere; alternatives 1 and 2 tie on fanout
+        // and staleness — index picks 1.
+        assert_eq!(Policy::current().choose_or(&partial), 1);
+        assert_eq!(Policy::fast().choose_or(&partial), 1);
+    }
+
+    #[test]
+    fn choose_or_is_deterministic_across_orderings() {
+        // Reversing the list must move the winner with it: the choice
+        // depends only on the contents, never on iteration artifacts.
+        let a = OrAlt::stale(Plan::url("mqp://one/"), 10);
+        let b = OrAlt::stale(
+            Plan::union([Plan::url("mqp://two/"), Plan::url("mqp://three/")]),
+            0,
+        );
+        let fwd = vec![a.clone(), b.clone()];
+        let rev = vec![b, a];
+        let p = Policy::fast();
+        assert_eq!(fwd[p.choose_or(&fwd)].plan, rev[p.choose_or(&rev)].plan);
+        let p = Policy::current();
+        assert_eq!(fwd[p.choose_or(&fwd)].plan, rev[p.choose_or(&rev)].plan);
     }
 
     #[test]

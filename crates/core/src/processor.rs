@@ -8,12 +8,14 @@ use mqp_algebra::codec::wire_size;
 use mqp_algebra::plan::{NodePath, Plan, UrlRef, UrnRef};
 use mqp_catalog::ServerId;
 use mqp_engine::{compile_cached, estimate, CompileCache, Resolver};
+use mqp_namespace::{InterestArea, Urn};
 use mqp_xml::Batch;
 
 use crate::mqp::Mqp;
 use crate::policy::Policy;
 use crate::provenance::{Action, VisitRecord};
 use crate::rewrite;
+use crate::rules::{RuleCtx, RuleSet};
 
 /// What the processor needs from its host peer. `mqp-peer` implements
 /// this against the local store, catalog, and network identity.
@@ -72,6 +74,10 @@ pub enum Outcome {
 pub struct Processor {
     /// The policy manager's knobs.
     pub policy: Policy,
+    /// Hot-reloadable rule overrides (the `.mqpp` DSL target). Empty by
+    /// default, in which case every decision is exactly [`Policy`]'s —
+    /// the golden-trace invariant.
+    rules: RuleSet,
     /// Per-peer compile cache: predicates of queries this server has
     /// seen (across hops, retries, and repeated workload shapes) skip
     /// re-compilation. Interior-mutable because processing borrows the
@@ -95,11 +101,62 @@ impl<C: ServerContext + ?Sized> Resolver for CtxResolver<'_, C> {
 }
 
 impl Processor {
-    /// Creates a processor with the given policy.
+    /// Creates a processor with the given policy and no rule overrides.
     pub fn new(policy: Policy) -> Self {
         Processor {
             policy,
+            rules: RuleSet::default(),
             compile_cache: RefCell::new(CompileCache::new()),
+        }
+    }
+
+    /// Installs (or clears, with an empty set) the rule overrides. This
+    /// is the hot-reload entry point: it can be called between
+    /// processing steps while queries are in flight — the next
+    /// [`Processor::process`] call sees the new rules, and nothing else
+    /// about the processor (policy, compile cache) changes.
+    pub fn set_rules(&mut self, rules: RuleSet) {
+        self.rules = rules;
+    }
+
+    /// The currently installed rule overrides.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The facts the rule engine gets to see for this envelope, captured
+    /// as the plan arrived at this peer: the union of its unbound URN
+    /// interest areas, the maximum staleness tag among its Or
+    /// alternatives, and this peer's id. Bytes are filled in per
+    /// reduction candidate.
+    fn rule_ctx(&self, mqp: &Mqp, ctx: &impl ServerContext) -> RuleCtx {
+        if self.rules.is_empty() {
+            return RuleCtx::default();
+        }
+        let mut area: Option<InterestArea> = None;
+        for u in mqp.plan().urns() {
+            if let Urn::InterestArea(a) = &u.urn {
+                area = Some(match area {
+                    Some(acc) => acc.union(a),
+                    None => a.clone(),
+                });
+            }
+        }
+        let mut staleness: Option<u32> = None;
+        mqp.plan().walk(&mut |p| {
+            if let Plan::Or(alts) = p {
+                for alt in alts {
+                    if let Some(s) = alt.staleness {
+                        staleness = Some(staleness.map_or(s, |x| x.max(s)));
+                    }
+                }
+            }
+        });
+        RuleCtx {
+            area,
+            staleness,
+            bytes: None,
+            role: ctx.id().to_string(),
         }
     }
 
@@ -109,6 +166,12 @@ impl Processor {
         let me = ctx.id();
         let now = ctx.now();
         let mut acted = false;
+
+        // Rule facts are captured once, as the envelope arrived here
+        // (before binding rewrites the areas away). With no rules
+        // loaded this is free and every decision below is exactly the
+        // base policy's.
+        let rctx = self.rule_ctx(mqp, ctx);
 
         // 1. Bind URNs the local catalog can resolve (§3.4).
         acted |= self.bind_urns(mqp, ctx, now) > 0;
@@ -127,7 +190,7 @@ impl Processor {
 
         // 3. Commit Or nodes whose chosen alternative is locally
         //    evaluable (A | B → A, §4.2).
-        acted |= self.commit_ready_ors(mqp, ctx, now) > 0;
+        acted |= self.commit_ready_ors(mqp, ctx, now, &rctx) > 0;
 
         // 4. Absorption where profitable (§2).
         let absorbed = rewrite::absorb(mqp.plan_untracked_mut(), &|p| {
@@ -146,7 +209,7 @@ impl Processor {
         }
 
         // 5. Reduce locally evaluable sub-plans the policy approves.
-        acted |= self.reduce(mqp, ctx, now) > 0;
+        acted |= self.reduce(mqp, ctx, now, &rctx) > 0;
 
         // 6. Done? The final items keep sharing the plan's handles.
         if mqp.plan().is_fully_evaluated() {
@@ -159,10 +222,21 @@ impl Processor {
         }
 
         // 7. Route onward. §5.2 transfer policy: disallowed servers are
-        //    treated as already-visited so routing skips over them.
+        //    treated as already-visited so routing skips over them. A
+        //    `route via` rule override is tried first, subject to the
+        //    same visited/allowed discipline, then normal routing.
         let mut visited = mqp.visited();
+        let mut rule_route = self
+            .rules
+            .decide(&self.policy, &rctx)
+            .route
+            .filter(|next| *next != me && !visited.contains(next));
         let route = loop {
-            match ctx.route(mqp.plan(), &visited) {
+            let candidate = match rule_route.take() {
+                Some(next) => Some(next),
+                None => ctx.route(mqp.plan(), &visited),
+            };
+            match candidate {
                 Some(next) if !mqp.constraints().server_allowed(&next) => {
                     visited.push(next);
                 }
@@ -237,9 +311,22 @@ impl Processor {
     }
 
     /// Step 3: commit `Or` nodes whose policy-chosen alternative is
-    /// locally evaluable. Returns how many were committed.
-    fn commit_ready_ors(&self, mqp: &mut Mqp, ctx: &impl ServerContext, now: u64) -> usize {
+    /// locally evaluable. Returns how many were committed. Rules may
+    /// override the effective policy, and a `choose` action overrides
+    /// the Or-commitment preference specifically.
+    fn commit_ready_ors(
+        &self,
+        mqp: &mut Mqp,
+        ctx: &impl ServerContext,
+        now: u64,
+        rctx: &RuleCtx,
+    ) -> usize {
         let me = ctx.id();
+        let decision = self.rules.decide(&self.policy, rctx);
+        let mut or_policy = decision.policy;
+        if let Some(p) = decision.or_preference {
+            or_policy.preference = p;
+        }
         let mut committed = 0;
         loop {
             let or_paths = mqp.plan().find_all(&|p| matches!(p, Plan::Or(_)));
@@ -248,7 +335,7 @@ impl Processor {
                 let Some(Plan::Or(alts)) = mqp.plan().get(&path) else {
                     continue;
                 };
-                let choice = self.policy.choose_or(alts);
+                let choice = or_policy.choose_or(alts);
                 let chosen = &alts[choice];
                 if !self.locally_evaluable(&chosen.plan, ctx) {
                     continue;
@@ -276,8 +363,10 @@ impl Processor {
     }
 
     /// Step 5: reduce maximal locally-evaluable sub-plans (§2). Returns
-    /// how many sub-plans were reduced.
-    fn reduce(&self, mqp: &mut Mqp, ctx: &impl ServerContext, now: u64) -> usize {
+    /// how many sub-plans were reduced. Rules see each candidate's byte
+    /// estimate and may force evaluation or deferment; a reduction that
+    /// completes the plan is never deferred (it must leave the network).
+    fn reduce(&self, mqp: &mut Mqp, ctx: &impl ServerContext, now: u64, rctx: &RuleCtx) -> usize {
         let me = ctx.id();
         let resolver = CtxResolver(ctx);
         let mut reduced = 0;
@@ -295,7 +384,17 @@ impl Processor {
                 let completes = self.reduction_completes_plan(mqp.plan(), &path);
                 let sub_est = local_aware_estimate(sub, ctx);
                 let replaced = wire_size(sub);
-                if !self.policy.should_evaluate(sub_est, replaced, completes) {
+                let decision = self
+                    .rules
+                    .decide(&self.policy, &rctx.with_bytes(sub_est.bytes));
+                let evaluate = completes
+                    || match decision.force {
+                        Some(force_eval) => force_eval,
+                        None => decision
+                            .policy
+                            .should_evaluate(sub_est, replaced, completes),
+                    };
+                if !evaluate {
                     // Deferment (§5.1): annotate instead of evaluating.
                     self.annotate_deferred(mqp, &path, ctx, now);
                     continue;
@@ -795,5 +894,156 @@ mod tests {
             }
             other => panic!("expected Complete, got {other:?}"),
         }
+    }
+
+    use crate::rules::{Cond, Rule, RuleAction, RuleSet};
+    use mqp_algebra::plan::OrAlt;
+    use mqp_catalog::Preference;
+
+    fn with_rules(rules: RuleSet) -> Processor {
+        let mut p = Processor::default();
+        p.set_rules(rules);
+        p
+    }
+
+    #[test]
+    fn choose_rule_overrides_or_preference_only() {
+        // Both alternatives are local; the default Current policy picks
+        // the fresh two-site union, a `choose fast` rule flips to the
+        // stale single-site one without touching the base policy.
+        let ctx = TestCtx::new("s").with_local("mqp://s/a", cds()).with_local(
+            "mqp://s/b",
+            &["<item><title>Z</title><price>1</price></item>"],
+        );
+        let plan = |_| {
+            Plan::display(
+                "c:1",
+                Plan::Or(vec![
+                    OrAlt::new(Plan::union([
+                        Plan::url("mqp://s/a"),
+                        Plan::url("mqp://s/b"),
+                    ])),
+                    OrAlt::stale(Plan::url("mqp://s/b"), 30),
+                ]),
+            )
+        };
+        let base = Processor::default();
+        let mut mqp = Mqp::new(plan(()));
+        let Outcome::Complete { items, .. } = base.process(&mut mqp, &ctx) else {
+            panic!("expected Complete");
+        };
+        assert_eq!(items.len(), 4); // union of both collections
+
+        let fast = with_rules(RuleSet::new(vec![Rule::new(
+            vec![Cond::Always],
+            vec![RuleAction::Choose(Preference::Fast)],
+        )]));
+        let mut mqp = Mqp::new(plan(()));
+        let Outcome::Complete { items, .. } = fast.process(&mut mqp, &ctx) else {
+            panic!("expected Complete");
+        };
+        assert_eq!(items.len(), 1); // single-site stale alternative
+        assert_eq!(fast.policy.preference, Preference::Current);
+    }
+
+    #[test]
+    fn force_defer_rule_defers_but_never_blocks_completion() {
+        // A tiny reduction the base policy would evaluate: forcing
+        // deferment leaves it unreduced (the plan forwards), except when
+        // the reduction would complete the plan.
+        let rules = RuleSet::new(vec![Rule::new(
+            vec![Cond::RoleIs("s".to_string())],
+            vec![RuleAction::ForceDefer],
+        )]);
+        let p = with_rules(rules);
+
+        // Completing reduction: still evaluates.
+        let ctx = TestCtx::new("s").with_local("mqp://s/", cds());
+        let mut mqp = Mqp::new(Plan::display(
+            "c:1",
+            Plan::select("price < 10", Plan::url("mqp://s/")),
+        ));
+        assert!(matches!(
+            p.process(&mut mqp, &ctx),
+            Outcome::Complete { .. }
+        ));
+
+        // Non-completing reduction (a remote leaf keeps the plan
+        // travelling): the local select is deferred, not evaluated.
+        let ctx = TestCtx::new("s")
+            .with_local("mqp://s/", cds())
+            .with_next("elsewhere");
+        let mut mqp = Mqp::new(Plan::display(
+            "c:1",
+            Plan::union([
+                Plan::select("price < 10", Plan::url("mqp://s/")),
+                Plan::url("mqp://far/"),
+            ]),
+        ));
+        assert!(matches!(p.process(&mut mqp, &ctx), Outcome::Forward { .. }));
+        assert!(!mqp
+            .provenance()
+            .iter()
+            .any(|v| v.action == Action::Evaluated));
+
+        // The same plan under no rules evaluates the local branch.
+        let mut mqp = Mqp::new(Plan::display(
+            "c:1",
+            Plan::union([
+                Plan::select("price < 10", Plan::url("mqp://s/")),
+                Plan::url("mqp://far/"),
+            ]),
+        ));
+        assert!(matches!(
+            Processor::default().process(&mut mqp, &ctx),
+            Outcome::Forward { .. }
+        ));
+        assert!(mqp
+            .provenance()
+            .iter()
+            .any(|v| v.action == Action::Evaluated));
+    }
+
+    #[test]
+    fn route_via_rule_overrides_next_hop() {
+        let ctx = TestCtx::new("meta").with_next("seller1");
+        let plan = Plan::display("c:1", Plan::url("mqp://far/"));
+
+        let mut mqp = Mqp::new(plan.clone());
+        assert_eq!(
+            Processor::default().process(&mut mqp, &ctx),
+            Outcome::Forward {
+                to: ServerId::new("seller1")
+            }
+        );
+
+        let p = with_rules(RuleSet::new(vec![Rule::new(
+            vec![Cond::Always],
+            vec![RuleAction::RouteVia(ServerId::new("idx-override"))],
+        )]));
+        let mut mqp = Mqp::new(plan.clone());
+        assert_eq!(
+            p.process(&mut mqp, &ctx),
+            Outcome::Forward {
+                to: ServerId::new("idx-override")
+            }
+        );
+
+        // An already-visited override target falls back to normal
+        // routing instead of looping.
+        let mut mqp = Mqp::new(plan);
+        mqp.record(VisitRecord {
+            server: ServerId::new("idx-override"),
+            action: Action::Forwarded,
+            detail: String::new(),
+            at: 0,
+            staleness: 0,
+        });
+        assert_eq!(
+            p.process(&mut mqp, &ctx),
+            Outcome::Forward {
+                to: ServerId::new("seller1")
+            }
+        );
     }
 }

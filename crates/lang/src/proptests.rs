@@ -1,0 +1,143 @@
+//! Property tests: the query language is a faithful inverse of the
+//! algebra's pretty-printer — `parse_query(plan.render()).plan == plan`
+//! for arbitrary constructible plans. The generators mirror
+//! `mqp_algebra`'s codec proptests (same leaf shapes, same operator
+//! mix) plus arbitrary annotations, so anything the wire codec can
+//! carry, the surface syntax can express.
+
+use proptest::prelude::*;
+
+use mqp_algebra::plan::{Annotations, JoinCond, OrAlt, Plan, UrlRef, UrnRef};
+use mqp_algebra::predicate::{AggFunc, Predicate};
+use mqp_xml::Element;
+
+use crate::query::parse_query;
+
+fn arb_item() -> impl Strategy<Value = Element> {
+    proptest::collection::vec(("[a-z]{1,6}", "[ -~]{1,10}"), 0..4).prop_map(|fields| {
+        let mut e = Element::new("item");
+        for (n, v) in fields {
+            e.push_child(mqp_xml::Node::Element(Element::new(n).text(v)));
+        }
+        e
+    })
+}
+
+fn arb_meta() -> impl Strategy<Value = Annotations> {
+    // Keys cover both render paths: bare ident-shaped and arbitrary
+    // printable (which render must quote).
+    let key = prop_oneof!["[a-z_][a-z0-9_.-]{0,5}", "[ -~]{1,6}"];
+    proptest::collection::vec((key, "[ -~]{0,8}"), 0..3).prop_map(|pairs| {
+        let mut meta = Annotations::new();
+        for (k, v) in pairs {
+            meta.set(k, v);
+        }
+        meta
+    })
+}
+
+fn arb_pred() -> impl Strategy<Value = Predicate> {
+    let leaf = prop_oneof![
+        Just(Predicate::True),
+        ("[a-z]{1,5}", 0u32..100).prop_map(|(f, n)| Predicate::cmp(
+            &f,
+            mqp_xml::xpath::Op::Lt,
+            n.to_string()
+        )),
+        ("[a-z]{1,5}", "[a-zA-Z ]{1,6}").prop_map(|(f, v)| Predicate::cmp(
+            &f,
+            mqp_xml::xpath::Op::Eq,
+            v.trim().to_owned()
+        )),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Predicate::And),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Predicate::Or),
+            inner.prop_map(|p| Predicate::Not(Box::new(p))),
+        ]
+    })
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    let leaf = prop_oneof![
+        (proptest::collection::vec(arb_item(), 0..3), arb_meta()).prop_map(|(items, meta)| {
+            Plan::Data {
+                items: items.into_iter().collect(),
+                meta,
+            }
+        }),
+        ("[a-z]{1,8}", arb_meta()).prop_map(|(h, meta)| Plan::Url(UrlRef {
+            href: format!("http://{h}:9020/"),
+            collection: None,
+            meta,
+        })),
+        ("[A-Za-z]{1,6}", "[A-Za-z0-9-]{1,8}", arb_meta()).prop_map(|(nid, nss, meta)| {
+            Plan::Urn(UrnRef {
+                urn: mqp_namespace::Urn::named(nid, nss),
+                meta,
+            })
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (arb_pred(), inner.clone()).prop_map(|(p, i)| Plan::Select {
+                pred: p,
+                input: Box::new(i)
+            }),
+            (proptest::collection::vec("[a-z]{1,5}", 1..3), inner.clone())
+                .prop_map(|(f, i)| Plan::project(f, i)),
+            ("[a-z]{1,4}", "[a-z]{1,4}", inner.clone(), inner.clone())
+                .prop_map(|(l, r, a, b)| Plan::join(JoinCond::on(&l, &r), a, b)),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Plan::union),
+            proptest::collection::vec((inner.clone(), proptest::option::of(0u32..120)), 1..3)
+                .prop_map(|alts| Plan::Or(
+                    alts.into_iter()
+                        .map(|(p, s)| OrAlt {
+                            plan: p,
+                            staleness: s
+                        })
+                        .collect()
+                )),
+            (
+                proptest::sample::select(vec![
+                    AggFunc::Count,
+                    AggFunc::Sum,
+                    AggFunc::Min,
+                    AggFunc::Max,
+                    AggFunc::Avg
+                ]),
+                inner.clone()
+            )
+                .prop_map(|(f, i)| Plan::aggregate(f, Some("price"), i)),
+            (1usize..20, any::<bool>(), inner.clone())
+                .prop_map(|(n, asc, i)| Plan::top_n(n, "price", asc, i)),
+            ("[a-z0-9.:]{1,12}", inner.clone()).prop_map(|(t, i)| Plan::display(t, i)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The tentpole invariant: rendering any plan and compiling the
+    /// text back yields the *same* plan — structurally, annotations
+    /// and all. Queries authored either way are interchangeable.
+    #[test]
+    fn render_parse_roundtrip(plan in arb_plan()) {
+        let text = plan.render();
+        let q = parse_query(&text).unwrap_or_else(|e| panic!("rendered text must parse:\n{text}\n{e}"));
+        prop_assert_eq!(&q.plan, &plan, "text was:\n{}", text);
+        prop_assert!(q.policy.is_none());
+    }
+
+    /// Rendering is a fixed point of compile∘render: pretty-printing
+    /// the reparsed plan reproduces the text byte for byte (so `.mqpq`
+    /// files regenerated from plans are stable).
+    #[test]
+    fn render_is_stable_under_reparse(plan in arb_plan()) {
+        let text = plan.render();
+        let reparsed = parse_query(&text).unwrap();
+        prop_assert_eq!(reparsed.plan.render(), text);
+    }
+}

@@ -217,6 +217,15 @@ impl MqpClient {
         qid
     }
 
+    /// Pushes a policy rule set to worker `node` (hot reload). Returns
+    /// `false` when the worker is gone. Queries already in flight at
+    /// the worker keep their accounting; the next processing step sees
+    /// the new rules.
+    pub fn push_policy(&mut self, node: NodeId, rules: &mqp_core::RuleSet) -> bool {
+        self.endpoint
+            .send(node, Frame::Policy(rules.clone()).encode())
+    }
+
     /// Non-blocking: the next completed outcome, if any.
     pub fn poll(&mut self) -> Option<QueryOutcome> {
         loop {

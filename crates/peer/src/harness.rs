@@ -248,6 +248,16 @@ impl SimHarness {
         self.net.send(from, to, charge, SimMsg::Wire(bytes));
     }
 
+    /// Pushes a policy rule set to `to` (hot reload; counted as network
+    /// traffic, charged like a registration). The receiving peer
+    /// installs the rules on delivery; envelopes already in flight keep
+    /// their accounting.
+    pub fn push_policy(&mut self, from: NodeId, to: NodeId, rules: mqp_core::RuleSet) {
+        let bytes = Frame::Policy(rules).encode();
+        let charge = wire::charge(&bytes);
+        self.net.send(from, to, charge, SimMsg::Wire(bytes));
+    }
+
     /// §3.3's complementary *pull* process: `index` asks every peer in
     /// `from` for its base entry; each reply is a registration message
     /// (all traffic counted). Returns how many entries were pulled.

@@ -420,6 +420,13 @@ impl PeerNode {
                     .unwrap_or_else(|e| panic!("malformed submitted plan: {e:?}"));
                 self.submit(qid, mqp.plan().clone(), now)
             }
+            // Hot policy reload: takes effect from the next processing
+            // step; in-flight envelopes keep their meters and watches
+            // untouched.
+            Frame::Policy(rules) => {
+                self.peer.set_rules(rules);
+                Vec::new()
+            }
             // Stop and hello are host-level (driver control and stream
             // handshake); a node receiving either does nothing.
             Frame::Stop | Frame::Hello { .. } => Vec::new(),

@@ -99,6 +99,14 @@ impl Peer {
         &self.processor
     }
 
+    /// Installs hot-reloaded policy rules on the processor (the
+    /// `policy` wire frame lands here). The base [`Policy`] and the
+    /// compile cache are untouched; an empty set restores pure
+    /// base-policy behavior.
+    pub fn set_rules(&mut self, rules: mqp_core::RuleSet) {
+        self.processor.set_rules(rules);
+    }
+
     /// Sets the simulated clock (harness use).
     pub fn set_clock(&self, us: u64) {
         self.clock_us.set(us);

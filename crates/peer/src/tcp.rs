@@ -914,6 +914,13 @@ impl TcpClient {
         self.send_frame(node, &Frame::Stop)
     }
 
+    /// Pushes a policy rule set to one worker over its socket (hot
+    /// reload); false if unreachable. In-flight queries keep their
+    /// accounting; the worker's next processing step sees the rules.
+    pub fn push_policy(&mut self, node: NodeId, rules: &mqp_core::RuleSet) -> bool {
+        self.send_frame(node, &Frame::Policy(rules.clone()))
+    }
+
     /// Non-blocking: the next completed outcome, if any.
     pub fn poll(&mut self) -> Option<QueryOutcome> {
         loop {

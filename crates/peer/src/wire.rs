@@ -20,7 +20,7 @@
 //!   keeps the golden traces byte-identical across the refactor.
 
 use mqp_catalog::{CatalogEntry, Level, ServerId};
-use mqp_core::QueryId;
+use mqp_core::{QueryId, RuleSet};
 use mqp_namespace::urn::{decode_area, encode_area};
 use mqp_net::NodeId;
 
@@ -109,6 +109,12 @@ pub enum Frame {
         /// `Mqp::to_wire` of a bare (untargeted) plan.
         plan: String,
     },
+    /// Hot policy reload: install the enclosed rule set on the
+    /// receiving peer's processor, replacing whatever was loaded
+    /// before (an empty set restores pure base-policy behavior).
+    /// Travels on every transport and is charged like `reg` —
+    /// policy distribution is catalog-style control traffic.
+    Policy(RuleSet),
     /// Front-end control: stop the receiving worker thread.
     Stop,
     /// Connection handshake (stream transports only): the first frame
@@ -238,6 +244,9 @@ impl Frame {
             Frame::Rereg(e) => encode_reg("rereg", e),
             Frame::Ack { qid } => format!("ack {qid}\n"),
             Frame::Submit { qid, plan } => format!("sub {qid}\n{plan}"),
+            Frame::Policy(rules) => {
+                format!("policy {}\n{}", rules.rules.len(), rules.to_wire())
+            }
             Frame::Stop => "stop\n".to_owned(),
             Frame::Hello { node, id } => {
                 debug_assert!(!id.as_str().contains('\n'), "hello id must be single-line");
@@ -312,6 +321,9 @@ impl Frame {
                     plan: payload.to_owned(),
                 })
             }
+            "policy" => RuleSet::from_wire(payload)
+                .map(Frame::Policy)
+                .map_err(|e| format!("bad policy frame: {e}")),
             "stop" => Ok(Frame::Stop),
             "hello" => {
                 if tokens.len() < 2 {
@@ -358,6 +370,9 @@ pub fn charge(bytes: &[u8]) -> usize {
             let area = lines.next().map(<[u8]>::len).unwrap_or(0);
             server + area + 16
         }
+        // Policy pushes are catalog-style control traffic: rule text
+        // plus the same fixed overhead a registration pays.
+        "policy" => payload.len() + 16,
         _ => 0,
     }
 }
@@ -449,6 +464,34 @@ mod tests {
         // Identical logical charge: recovery traffic bills like first
         // registration.
         assert_eq!(charge(&re), charge(&Frame::Register(entry).encode()));
+    }
+
+    #[test]
+    fn policy_frame_roundtrips_and_charges_like_reg() {
+        use mqp_catalog::Preference;
+        use mqp_core::rules::{Cond, Rule, RuleAction};
+        let rules = RuleSet::new(vec![
+            Rule::new(
+                vec![Cond::RoleIs("seller-*".to_owned())],
+                vec![RuleAction::Prefer(Preference::Fast), RuleAction::Within(30)],
+            ),
+            Rule::new(
+                vec![Cond::AreaWithin(area()), Cond::BytesOver(4096.0)],
+                vec![RuleAction::ForceDefer],
+            ),
+        ]);
+        let f = Frame::Policy(rules.clone());
+        let bytes = f.encode();
+        assert_eq!(Frame::kind(&bytes), "policy");
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+        // Charged like reg: payload bytes + the same fixed overhead.
+        assert_eq!(charge(&bytes), rules.to_wire().len() + 16);
+
+        // The empty set (clears overrides) travels too.
+        let clear = Frame::Policy(RuleSet::empty());
+        let bytes = clear.encode();
+        assert_eq!(Frame::decode(&bytes).unwrap(), clear);
+        assert_eq!(charge(&bytes), 16);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub use mqp_baselines as baselines;
 pub use mqp_catalog as catalog;
 pub use mqp_core as core;
 pub use mqp_engine as engine;
+pub use mqp_lang as lang;
 pub use mqp_namespace as namespace;
 pub use mqp_net as net;
 pub use mqp_peer as peer;

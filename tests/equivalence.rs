@@ -269,6 +269,195 @@ fn threaded_and_tcp_agree_under_durable_kill_restart() {
     assert_eq!(audit, Some(true));
 }
 
+/// The §4.3 policy demo plan: a fresh two-site union vs a stale
+/// one-site mirror of the same Portland CD stock. Under the default
+/// `Policy::current()` every driver commits the union (3 items: A, B,
+/// C); under a hot-loaded `when always then choose fast` rule set every
+/// driver commits the cheaper single-site alternative (2 items: A, B).
+fn or_plan() -> Plan {
+    use mqp::algebra::plan::OrAlt;
+    Plan::Or(vec![
+        OrAlt {
+            plan: Plan::union([Plan::url("mqp://seller-0/"), Plan::url("mqp://seller-1/")]),
+            staleness: None,
+        },
+        OrAlt {
+            plan: Plan::url("mqp://seller-0/"),
+            staleness: Some(30),
+        },
+    ])
+}
+
+/// The rule set every hot-reload test ships, compiled from the same DSL
+/// text committed as `queries/fast_fallback.mqpp`.
+fn fast_rules() -> mqp::core::RuleSet {
+    mqp::lang::parse_policy("when always then choose fast\n")
+        .expect("policy text compiles")
+        .rules
+}
+
+/// Policy hot reload changes routing behavior on all three drivers
+/// without restarting anything: the same `or` query commits the union
+/// before the reload and the single-site alternative after it, and the
+/// accounting stays clean on every host (no stranded queries, balanced
+/// socket frames).
+#[test]
+fn policy_hot_reload_changes_routing_on_all_three_drivers() {
+    let rules = fast_rules();
+
+    // --- simulator ---
+    let n = world().len();
+    let mut h = SimHarness::new(Topology::uniform(n, 5_000), world());
+    let count = |h: &mut SimHarness| -> usize {
+        h.submit(0, or_plan());
+        h.run(100_000);
+        let out = h.take_completed().pop().expect("query completed");
+        assert!(
+            out.failure.is_none(),
+            "sim or-query failed: {:?}",
+            out.failure
+        );
+        out.items.len()
+    };
+    let sim_before = count(&mut h);
+    for node in 0..n {
+        h.push_policy(0, node, rules.clone());
+    }
+    h.run(100_000);
+    let sim_after = count(&mut h);
+    assert_eq!(h.pending_count(), 0, "simulator stranded a query");
+    assert_eq!(
+        (sim_before, sim_after),
+        (3, 2),
+        "sim routing did not change"
+    );
+
+    // --- threaded cluster, same world and reload sequence ---
+    let settle = || std::thread::sleep(Duration::from_millis(120));
+    let (cluster, mut client) = ThreadedCluster::new(world());
+    client.submit(0, &or_plan());
+    let before = client.collect(1, Duration::from_secs(30));
+    for node in 0..n {
+        assert!(client.push_policy(node, &rules), "worker {node} gone");
+    }
+    settle();
+    client.submit(0, &or_plan());
+    let after = client.collect(1, Duration::from_secs(30));
+    cluster.shutdown(&client);
+    assert_eq!(
+        (before.len(), after.len()),
+        (1, 1),
+        "threaded query stranded"
+    );
+    assert!(before[0].failure.is_none() && after[0].failure.is_none());
+    assert_eq!(
+        (before[0].items.len(), after[0].items.len()),
+        (3, 2),
+        "threaded routing did not change"
+    );
+
+    // --- TCP cluster, real sockets ---
+    let (tcp, mut tcp_client) = TcpCluster::new(world());
+    tcp_client.submit(0, &or_plan());
+    let tcp_before = tcp_client.collect(1, Duration::from_secs(30));
+    for node in 0..n {
+        assert!(
+            tcp_client.push_policy(node, &rules),
+            "node {node} unreachable"
+        );
+    }
+    settle();
+    tcp_client.submit(0, &or_plan());
+    let tcp_after = tcp_client.collect(1, Duration::from_secs(30));
+    let stats = tcp.shutdown(&mut tcp_client);
+    assert_eq!(
+        (tcp_before.len(), tcp_after.len()),
+        (1, 1),
+        "tcp query stranded"
+    );
+    assert!(tcp_before[0].failure.is_none() && tcp_after[0].failure.is_none());
+    assert_eq!(
+        (tcp_before[0].items.len(), tcp_after[0].items.len()),
+        (3, 2),
+        "tcp routing did not change"
+    );
+    assert!(stats.balances(0), "unbalanced after hot reload: {stats:?}");
+}
+
+/// A policy swap while queries are in flight must not corrupt anything:
+/// every query still completes exactly once with a valid answer (the
+/// union's 3 items if its `or` was decided before the rules landed, the
+/// single-site 2 if after), nothing strands, and the socket frame
+/// accounting still balances to zero. In-flight envelopes keep their
+/// meters; only the *decision* at the next processing step changes.
+#[test]
+fn policy_swap_mid_query_keeps_accounting_clean() {
+    let rules = fast_rules();
+    let n = world().len();
+    let valid = |q: &mqp::core::QueryOutcome| {
+        assert!(
+            q.failure.is_none(),
+            "mid-swap query failed: {:?}",
+            q.failure
+        );
+        assert!(
+            q.items.len() == 2 || q.items.len() == 3,
+            "mid-swap query returned {} items (want the union's 3 or the \
+             single-site 2)",
+            q.items.len()
+        );
+    };
+
+    // Simulator: the policy frames race the query through the same
+    // virtual network, so the swap lands genuinely mid-flight.
+    let mut h = SimHarness::new(Topology::uniform(n, 5_000), world());
+    for _ in 0..3 {
+        h.submit(0, or_plan());
+    }
+    for node in 0..n {
+        h.push_policy(0, node, rules.clone());
+    }
+    h.run(200_000);
+    assert_eq!(h.pending_count(), 0, "simulator stranded a mid-swap query");
+    let done = h.take_completed();
+    assert_eq!(done.len(), 3);
+    done.iter().for_each(&valid);
+
+    // Threaded: six queries in flight when the rules are pushed.
+    let (cluster, mut client) = ThreadedCluster::new(world());
+    let qids: Vec<QueryId> = (0..6).map(|_| client.submit(0, &or_plan())).collect();
+    for node in 0..n {
+        assert!(client.push_policy(node, &rules), "worker {node} gone");
+    }
+    let done = client.collect(qids.len(), Duration::from_secs(30));
+    cluster.shutdown(&client);
+    assert_eq!(
+        done.len(),
+        qids.len(),
+        "threaded cluster lost a mid-swap query"
+    );
+    done.iter().for_each(&valid);
+
+    // TCP: same interleaving over real sockets, plus the zero-balance
+    // frame identity — a corrupted in-flight meter would break it.
+    let (tcp, mut tcp_client) = TcpCluster::new(world());
+    let qids: Vec<QueryId> = (0..6).map(|_| tcp_client.submit(0, &or_plan())).collect();
+    for node in 0..n {
+        assert!(
+            tcp_client.push_policy(node, &rules),
+            "node {node} unreachable"
+        );
+    }
+    let done = tcp_client.collect(qids.len(), Duration::from_secs(30));
+    let stats = tcp.shutdown(&mut tcp_client);
+    assert_eq!(done.len(), qids.len(), "tcp cluster lost a mid-swap query");
+    done.iter().for_each(&valid);
+    assert!(
+        stats.balances(0),
+        "unbalanced after mid-query swap: {stats:?}"
+    );
+}
+
 /// Same stability property on the socket host: repeated runs with the
 /// whole workload tripled and in flight at once produce identical
 /// outcome multisets, with exact frame accounting every time.
