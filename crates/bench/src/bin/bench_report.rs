@@ -48,6 +48,14 @@
 //!   identity. Static (no re-measurement — the CI `socket-smoke` job
 //!   re-proves the invariants at golden scale and then gates the
 //!   committed full-scale record with this mode);
+//! * `--check-moas` — validate only the `moas` section of
+//!   `BENCH_scale.json`, committed by a full-scale `exp_moas --update`
+//!   run (DESIGN.md §14, E16): ≥ 10k peers, detection precision ≥ 0.95
+//!   and recall ≥ 0.90 at the 5%-hijacker workload, zero honest
+//!   mirrors quarantined, the defense never *increasing* the
+//!   poisoned-answer rate, and a nonzero verification-probe count.
+//!   Static — the CI `moas-smoke` job re-proves the invariants at
+//!   golden scale first;
 //! * `--check-recovery` — validate only the `recovery` section of
 //!   `BENCH_threaded.json`, committed by a full-scale
 //!   `exp_crash_recovery` run (DESIGN.md §12): ≥ 99% of bindings
@@ -792,6 +800,75 @@ fn committed_threaded_path() -> std::path::PathBuf {
     std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_threaded.json")
 }
 
+/// The moas gate: the committed `moas` section of `BENCH_scale.json`
+/// must record a full-scale `exp_moas` run (DESIGN.md §14, E16) whose
+/// detection quality met the defense's floors. Static, like
+/// [`check_socket`]: the CI `moas-smoke` job re-proves the invariants
+/// at golden scale (the experiment asserts its own floors in-process),
+/// and this mode gates the committed full-scale record.
+fn check_moas() -> Result<(), String> {
+    use mqp_bench::moas_gate::{PRECISION_FLOOR, RECALL_FLOOR};
+    let committed = std::fs::read_to_string(mqp_bench::scale_report::committed_path())
+        .map_err(|e| format!("cannot read committed BENCH_scale.json: {e}"))?;
+    let get = |key: &str| {
+        json_f64(&committed, "moas", key).ok_or(format!(
+            "committed BENCH_scale.json is missing moas.{key}; \
+             regenerate it with a full-scale `exp_moas --update` run"
+        ))
+    };
+    let peers = get("peers")?;
+    let hijackers = get("hijackers")?;
+    let precision = get("precision")?;
+    let recall = get("recall")?;
+    let mirrors = get("mirrors_quarantined")?;
+    let poisoned_off = get("poisoned_rate_off")?;
+    let poisoned_on = get("poisoned_rate_on")?;
+    let verify_msgs = get("verify_msgs")?;
+    eprintln!(
+        "perf-report: moas: {peers:.0} peers, {hijackers:.0} hijackers, \
+         precision {precision:.2} recall {recall:.2}, {mirrors:.0} mirrors \
+         quarantined, poisoning {poisoned_off:.2} -> {poisoned_on:.2}, \
+         {verify_msgs:.0} verify msgs"
+    );
+    let mut failures = Vec::new();
+    if peers < 10_000.0 {
+        failures.push(format!(
+            "moas run covered only {peers:.0} peers (floor 10000)"
+        ));
+    }
+    if hijackers <= 0.0 {
+        failures.push("moas run recorded no hijackers — nothing was defended against".to_owned());
+    }
+    if precision < PRECISION_FLOOR {
+        failures.push(format!(
+            "moas precision {precision:.2} below floor {PRECISION_FLOOR:.2}"
+        ));
+    }
+    if recall < RECALL_FLOOR {
+        failures.push(format!(
+            "moas recall {recall:.2} below floor {RECALL_FLOOR:.2}"
+        ));
+    }
+    if mirrors != 0.0 {
+        failures.push(format!(
+            "moas run quarantined {mirrors:.0} honest mirrors (must be 0)"
+        ));
+    }
+    if poisoned_on > poisoned_off {
+        failures.push(format!(
+            "defense increased poisoning: {poisoned_on:.2} on vs {poisoned_off:.2} off"
+        ));
+    }
+    if verify_msgs <= 0.0 {
+        failures.push("moas run sent no verification probes — the defense never ran".to_owned());
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 /// The socket gate: the committed `socket` section of
 /// `BENCH_threaded.json` must record a full-scale `exp_socket_soak`
 /// run that met the soak's contract. Unlike the ratio gates this is
@@ -952,6 +1029,16 @@ fn main() {
         eprintln!("perf-report: socket OK");
         return;
     }
+    if mode == "--check-moas" {
+        // Static gate only — the CI moas-smoke job runs the golden
+        // experiment itself, then gates the committed full-scale record.
+        if let Err(e) = check_moas() {
+            eprintln!("perf-report: FAIL: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("perf-report: moas OK");
+        return;
+    }
     if mode == "--check-recovery" {
         // Static gate only — the CI crash-smoke job runs the golden
         // experiment itself, then gates the committed full-scale record.
@@ -970,8 +1057,18 @@ fn main() {
             std::fs::write(committed_path(), report.to_json()).expect("write BENCH_wire.json");
             std::fs::write(committed_engine_path(), engine.to_json())
                 .expect("write BENCH_engine.json");
-            std::fs::write(mqp_bench::scale_report::committed_path(), scale.to_json())
-                .expect("write BENCH_scale.json");
+            // The `moas` section belongs to `exp_moas --update`; carry
+            // it forward rather than clobbering it.
+            let scale_path = mqp_bench::scale_report::committed_path();
+            let fresh = scale.to_json();
+            let merged = match std::fs::read_to_string(&scale_path)
+                .ok()
+                .and_then(|old| mqp_bench::json_merge::section(&old, "moas"))
+            {
+                Some(moas) => mqp_bench::json_merge::upsert_section(&fresh, "moas", &moas),
+                None => fresh,
+            };
+            std::fs::write(&scale_path, merged).expect("write BENCH_scale.json");
             eprintln!(
                 "bench_report: wrote {} ({:.0} peers/GB, {:.0} events/sec)",
                 mqp_bench::scale_report::committed_path().display(),
@@ -997,7 +1094,8 @@ fn main() {
             let sc = check_scale(&scale);
             let sock = check_socket();
             let rec = check_recovery();
-            if let Err(e) = wire.and(eng).and(sc).and(sock).and(rec) {
+            let moas = check_moas();
+            if let Err(e) = wire.and(eng).and(sc).and(sock).and(rec).and(moas) {
                 eprintln!("perf-report: FAIL: {e}");
                 std::process::exit(1);
             }

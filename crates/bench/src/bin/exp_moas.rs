@@ -1,0 +1,226 @@
+//! E16 — DESIGN.md §14: the multi-origin binding defense under
+//! adversarial registration churn. Sweeps hijacker fraction × cluster
+//! size over the [`mqp_workloads::adversary`] world (seeded binding
+//! hijackers, registration flappers, and honest mirrors as hard
+//! negatives), running every configuration twice — defense off, then
+//! defense on — and reports:
+//!
+//! * detection **precision / recall** against seeded ground truth, and
+//!   how many honest mirrors were (wrongly) quarantined;
+//! * **time to quarantine** (simulated µs from a hijacker's first
+//!   observed registration to the strike that quarantined it);
+//! * the **poisoned-answer rate** a client sees with the defense off
+//!   vs. on;
+//! * **verification overhead**: the extra messages and bytes the
+//!   count-probe rounds cost (defense-on minus defense-off traffic for
+//!   the identical registration schedule).
+//!
+//! Everything printed is deterministic (simulated time, seeded worlds),
+//! so the whole stdout is golden-snapshotted at
+//! `MQP_EXP_SCALE=golden`. `--update` upserts the committed 5%-hijacker
+//! row into `BENCH_scale.json`'s `moas` section (carried forward — not
+//! rewritten — by the other writers of that file), which
+//! `bench_report --check` gates against the
+//! [`mqp_bench::moas_gate`] floors.
+
+use mqp_bench::{f2, json_merge, moas_gate, print_table};
+use mqp_workloads::adversary::{build, AdversaryConfig, DetectionReport};
+
+/// Master seed for world assignment and attacker placement.
+const SEED: u64 = 0xD15EA5E;
+
+struct MoasRow {
+    sellers: usize,
+    peers: usize,
+    fraction: f64,
+    detection: DetectionReport,
+    poisoned_off: f64,
+    poisoned_on: f64,
+    verify_msgs: u64,
+    verify_bytes: u64,
+}
+
+/// Runs one configuration twice — defense off, then on — over the
+/// identical registration schedule, and diffs the traffic.
+fn run_pair(sellers: usize, fraction: f64) -> MoasRow {
+    let config = AdversaryConfig {
+        sellers,
+        cities: 0,
+        seed: SEED,
+        hijacker_fraction: fraction,
+        defense: false,
+    };
+    let mut off = build(config);
+    off.run_schedule();
+    let off_msgs = off.harness.net.stats().messages_sent;
+    let off_bytes = off.harness.net.stats().bytes_sent;
+    let poisoned_off = off.run_queries();
+
+    let mut on = build(AdversaryConfig {
+        defense: true,
+        ..config
+    });
+    let peers = on.harness.len();
+    on.run_schedule();
+    let on_msgs = on.harness.net.stats().messages_sent;
+    let on_bytes = on.harness.net.stats().bytes_sent;
+    let detection = on.detection_report();
+    let poisoned_on = on.run_queries();
+
+    MoasRow {
+        sellers,
+        peers,
+        fraction,
+        detection,
+        poisoned_off: poisoned_off.rate(),
+        poisoned_on: poisoned_on.rate(),
+        verify_msgs: on_msgs - off_msgs,
+        verify_bytes: on_bytes - off_bytes,
+    }
+}
+
+impl MoasRow {
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.peers.to_string(),
+            format!("{:.0}%", self.fraction * 100.0),
+            format!("{}/{}", self.detection.detected, self.detection.hijackers),
+            f2(self.detection.precision),
+            f2(self.detection.recall),
+            self.detection.mirrors_quarantined.to_string(),
+            f2(self.detection.mean_time_to_quarantine_us / 1_000.0),
+            f2(self.poisoned_off),
+            f2(self.poisoned_on),
+            self.verify_msgs.to_string(),
+            self.verify_bytes.to_string(),
+        ]
+    }
+}
+
+/// The committed `moas` section (house shape: inner lines at four-space
+/// indent, closing `  }`), from the flagship 5%-hijacker row.
+fn moas_section(row: &MoasRow) -> String {
+    let fields: Vec<(&str, String)> = vec![
+        ("sellers", row.sellers.to_string()),
+        ("peers", row.peers.to_string()),
+        ("hijacker_pct", f2(row.fraction * 100.0)),
+        ("hijackers", row.detection.hijackers.to_string()),
+        ("detected", row.detection.detected.to_string()),
+        ("false_positives", row.detection.false_positives.to_string()),
+        (
+            "mirrors_quarantined",
+            row.detection.mirrors_quarantined.to_string(),
+        ),
+        ("precision", f2(row.detection.precision)),
+        ("recall", f2(row.detection.recall)),
+        (
+            "mean_time_to_quarantine_ms",
+            f2(row.detection.mean_time_to_quarantine_us / 1_000.0),
+        ),
+        ("poisoned_rate_off", f2(row.poisoned_off)),
+        ("poisoned_rate_on", f2(row.poisoned_on)),
+        ("verify_msgs", row.verify_msgs.to_string()),
+        ("verify_bytes", row.verify_bytes.to_string()),
+        ("precision_min", f2(moas_gate::PRECISION_FLOOR)),
+        ("recall_min", f2(moas_gate::RECALL_FLOOR)),
+    ];
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        out.push_str(&format!("    \"{k}\": {v}{comma}\n"));
+    }
+    out.push_str("  }");
+    out
+}
+
+fn main() {
+    let golden = mqp_bench::golden_scale();
+    let update = std::env::args().nth(1).as_deref() == Some("--update");
+    let sizes: &[usize] = if golden { &[400] } else { &[1_000, 10_000] };
+    let fractions: &[f64] = if golden {
+        &[0.05, 0.10]
+    } else {
+        &[0.02, 0.05, 0.10]
+    };
+
+    let mut rows = Vec::new();
+    let mut flagship: Option<MoasRow> = None;
+    for &sellers in sizes {
+        for &fraction in fractions {
+            let row = run_pair(sellers, fraction);
+            // Hard negatives are non-negotiable at every configuration:
+            // an honest mirror in quarantine means the defense is
+            // confusing redundancy with hijacking.
+            assert_eq!(
+                row.detection.mirrors_quarantined, 0,
+                "honest mirrors quarantined at {sellers} sellers / {fraction} fraction"
+            );
+            // The committed floors hold at the flagship 5% fraction.
+            if (fraction - 0.05).abs() < 1e-9 {
+                assert!(
+                    row.detection.precision >= moas_gate::PRECISION_FLOOR,
+                    "precision {} below floor at {sellers} sellers",
+                    row.detection.precision
+                );
+                assert!(
+                    row.detection.recall >= moas_gate::RECALL_FLOOR,
+                    "recall {} below floor at {sellers} sellers",
+                    row.detection.recall
+                );
+                assert!(
+                    row.poisoned_on <= row.poisoned_off,
+                    "defense increased poisoning at {sellers} sellers"
+                );
+                flagship = Some(MoasRow {
+                    detection: row.detection.clone(),
+                    ..row
+                });
+            }
+            rows.push(row.cells());
+        }
+    }
+
+    print_table(
+        "moas: defense under adversarial registration churn",
+        &[
+            "peers",
+            "hijack",
+            "detected",
+            "prec",
+            "recall",
+            "mirrorsQ",
+            "ttq ms",
+            "poison off",
+            "poison on",
+            "verify msgs",
+            "verify bytes",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nshape check (DESIGN.md §14): conflicting registrations trigger \
+         count-probe verification rounds; hijackers holding divergent data \
+         accumulate strikes and land in quarantine (precision/recall vs \
+         seeded ground truth above), honest mirrors answer consistently and \
+         stay trusted, and quarantine prunes the poisoned Or-alternatives a \
+         defenseless client would have consumed. The verify columns are the \
+         whole price: probe frames riding the existing wire protocol."
+    );
+
+    if update {
+        let row = flagship.expect("5% fraction is always in the sweep");
+        let path = mqp_bench::scale_report::committed_path();
+        let committed = std::fs::read_to_string(&path).expect("read committed BENCH_scale.json");
+        let merged = json_merge::upsert_section(&committed, "moas", &moas_section(&row));
+        std::fs::write(&path, merged).expect("write BENCH_scale.json");
+        eprintln!(
+            "exp_moas: updated moas section of {} (precision {:.2}, recall {:.2}, \
+             {} verify msgs)",
+            path.display(),
+            row.detection.precision,
+            row.detection.recall,
+            row.verify_msgs
+        );
+    }
+}

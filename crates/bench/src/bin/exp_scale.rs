@@ -311,7 +311,18 @@ fn main() {
 
     if update {
         let path = scale_report::committed_path();
-        std::fs::write(&path, report.to_json()).expect("write BENCH_scale.json");
+        // This binary owns the workload/memory/scheduler/floors
+        // sections; the `moas` section belongs to `exp_moas --update`
+        // and must ride along untouched.
+        let fresh = report.to_json();
+        let merged = match std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|old| mqp_bench::json_merge::section(&old, "moas"))
+        {
+            Some(moas) => mqp_bench::json_merge::upsert_section(&fresh, "moas", &moas),
+            None => fresh,
+        };
+        std::fs::write(&path, merged).expect("write BENCH_scale.json");
         eprintln!(
             "exp_scale: wrote {} ({} peers, {:.0} peers/GB, {:.0} events/sec)",
             path.display(),

@@ -164,13 +164,15 @@ fn main() {
     json.push_str("}\n");
     let path =
         std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_threaded.json");
-    // The `socket` section belongs to exp_socket_soak; carry any
-    // committed one forward untouched instead of clobbering it.
-    if let Some(sock) = std::fs::read_to_string(&path)
-        .ok()
-        .and_then(|old| mqp_bench::json_merge::section(&old, "socket"))
-    {
-        json = mqp_bench::json_merge::upsert_section(&json, "socket", &sock);
+    // The `socket` section belongs to exp_socket_soak and `recovery`
+    // to exp_crash_recovery; carry any committed ones forward untouched
+    // instead of clobbering them.
+    if let Ok(old) = std::fs::read_to_string(&path) {
+        for name in ["socket", "recovery"] {
+            if let Some(sec) = mqp_bench::json_merge::section(&old, name) {
+                json = mqp_bench::json_merge::upsert_section(&json, name, &sec);
+            }
+        }
     }
     std::fs::write(&path, &json).expect("write BENCH_threaded.json");
     println!("\nwrote {}", path.display());

@@ -17,6 +17,7 @@
 //! | `exp_index_detail_tradeoff` | §3.2 index vs. meta-index detail |
 //! | `exp_churn_resilience` | §2/§5.1 recall + audits under churn |
 //! | `exp_threaded_throughput` | DESIGN.md §8 real-thread scaling |
+//! | `exp_moas` | DESIGN.md §14 multi-origin binding defense (E16) |
 //!
 //! Run any of them with
 //! `cargo run -p mqp-bench --release --bin <name>`. Criterion
@@ -103,6 +104,18 @@ pub mod scale_gate {
     pub const PEERS_PER_GB_FLOOR: f64 = 100_000.0;
     /// Calendar-queue events per second under the soak workload.
     pub const EVENTS_PER_SEC_FLOOR: f64 = 1_000_000.0;
+}
+
+/// Detection-quality floors the multi-origin binding defense PR
+/// committed to (`BENCH_scale.json`'s `moas` section, written by
+/// `exp_moas --update` and enforced by `bench_report --check`):
+/// detection precision and recall at the committed 5%-hijacker
+/// adversarial workload (DESIGN.md §14, experiment E16).
+pub mod moas_gate {
+    /// Quarantine precision (true hijackers / all quarantined).
+    pub const PRECISION_FLOOR: f64 = 0.95;
+    /// Quarantine recall (detected hijackers / all hijackers).
+    pub const RECALL_FLOOR: f64 = 0.90;
 }
 
 /// Memory and scheduler probes behind the scale sweep (`exp_scale`,

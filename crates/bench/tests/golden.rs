@@ -115,4 +115,5 @@ golden! {
     golden_scale => exp_scale,
     golden_socket_soak => exp_socket_soak,
     golden_crash_recovery => exp_crash_recovery,
+    golden_moas => exp_moas,
 }

@@ -39,6 +39,7 @@ use mqp_net::{DiskFaults, Retrier};
 use crate::entry::{CatalogEntry, Level, ServerId};
 use crate::intension::IntensionalStatement;
 use crate::store::Catalog;
+use crate::trust::TrustRecord;
 
 // ----------------------------------------------------------------------
 // CRC32 (IEEE, reflected) — bitwise, no table: WAL records are small
@@ -84,6 +85,12 @@ pub enum CatalogOp {
     },
     /// Retain an intensional statement.
     Statement(IntensionalStatement),
+    /// Record a trust transition (DESIGN.md §14): the server's full
+    /// provenance aggregate, journaled whenever its level changes so a
+    /// quarantined hijacker cannot launder its binding through
+    /// crash/rejoin. Replay merges commutatively (`TrustBook::install`),
+    /// so the op is idempotent like every other record.
+    Trust(TrustRecord),
 }
 
 fn flag(b: bool) -> u8 {
@@ -136,6 +143,26 @@ impl CatalogOp {
                 s
             }
             CatalogOp::Statement(stmt) => format!("stmt\n{stmt}"),
+            CatalogOp::Trust(r) => {
+                let mut s = format!(
+                    "trust {} {} {} {} {} {} {} {} {}\n{}",
+                    r.registrar,
+                    r.first_seen,
+                    r.last_seen,
+                    r.registrations,
+                    r.strikes,
+                    r.clears,
+                    r.stale_marks,
+                    r.last_strike_at,
+                    r.areas.len(),
+                    r.server.as_str(),
+                );
+                for area in &r.areas {
+                    s.push('\n');
+                    s.push_str(area);
+                }
+                s
+            }
         }
     }
 
@@ -203,6 +230,47 @@ impl CatalogOp {
                 .parse::<IntensionalStatement>()
                 .map(CatalogOp::Statement)
                 .map_err(|e| format!("stmt: {e}")),
+            Some("trust") => {
+                let mut num = || -> Result<u64, String> {
+                    words
+                        .next()
+                        .ok_or("trust: missing field")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("trust: {e}"))
+                };
+                let registrar = num()?;
+                let first_seen = num()?;
+                let last_seen = num()?;
+                let registrations = num()?;
+                let strikes = num()?;
+                let clears = num()?;
+                let stale_marks = num()?;
+                let last_strike_at = num()?;
+                let n_areas = num()? as usize;
+                let mut lines = rest.split('\n');
+                let server = match lines.next() {
+                    Some(s) if !s.is_empty() => ServerId::new(s),
+                    _ => return Err("trust: missing server".into()),
+                };
+                let mut areas = Vec::with_capacity(n_areas);
+                for _ in 0..n_areas {
+                    areas.push(lines.next().ok_or("trust: missing area")?.to_owned());
+                }
+                areas.sort();
+                areas.dedup();
+                Ok(CatalogOp::Trust(TrustRecord {
+                    server,
+                    registrar,
+                    first_seen,
+                    last_seen,
+                    registrations,
+                    strikes,
+                    clears,
+                    stale_marks,
+                    last_strike_at,
+                    areas,
+                }))
+            }
             other => Err(format!("unknown op {other:?}")),
         }
     }
@@ -218,6 +286,7 @@ impl CatalogOp {
                 collection,
             } => catalog.map_urn(urn, server.clone(), collection.clone()),
             CatalogOp::Statement(stmt) => catalog.add_statement(stmt.clone()),
+            CatalogOp::Trust(r) => catalog.trust_mut().install(r.clone()),
         }
     }
 }
@@ -828,6 +897,18 @@ mod tests {
             ),
             CatalogOp::Unregister(ServerId::new("seller-1")),
             reg("seller-1", &["Oregon/Portland", "Recreation/SportingGoods"]),
+            CatalogOp::Trust(TrustRecord {
+                server: ServerId::new("hijack-7"),
+                registrar: 3,
+                first_seen: 10,
+                last_seen: 400,
+                registrations: 5,
+                strikes: 2,
+                clears: 1,
+                stale_marks: 0,
+                last_strike_at: 400,
+                areas: vec![encode_area(&area(&[&["Oregon/Portland", "Recreation"]]))],
+            }),
         ]
     }
 
@@ -872,6 +953,9 @@ mod tests {
             "unreg",
             "urn 1\nurn:X:y\nS",
             "stmt\nnot a statement",
+            "trust 1 2 3",
+            "trust a 2 3 4 5 6 7 8 0\nS",
+            "trust 1 2 3 4 5 6 7 8 2\nS\n+only-one-area",
         ] {
             assert!(CatalogOp::decode(bad).is_err(), "accepted {bad:?}");
         }
@@ -1032,6 +1116,33 @@ mod tests {
         d.crash();
         let (catalog, _) = d.recover().unwrap();
         assert_eq!(digest(&catalog), digest(&replay(&ops)));
+    }
+
+    #[test]
+    fn trust_transitions_survive_crash_and_recovery() {
+        use crate::trust::TrustLevel;
+
+        // The laundering bug this op exists to close: without journaled
+        // trust transitions, recovery replays the hijacker's `reg` with
+        // a clean slate and the quarantine evaporates.
+        let mut d = DurableCatalog::new(SharedDisk::new(MemDisk::new()));
+        d.log(&reg("hijack-7", &["Oregon/Portland", "Recreation"]))
+            .unwrap();
+        let CatalogOp::Trust(mut rec) = sample_ops().pop().unwrap() else {
+            panic!("sample_ops must end with a trust op");
+        };
+        rec.clears = 0; // two unpaid strikes: squarely quarantined
+        d.log(&CatalogOp::Trust(rec)).unwrap();
+        d.crash();
+        let (catalog, _) = d.recover().unwrap();
+        let hijack = ServerId::new("hijack-7");
+        assert_eq!(catalog.trust().level_of(&hijack), TrustLevel::Quarantined);
+        assert_eq!(catalog.trust().record(&hijack).unwrap().strikes, 2);
+        // Crash again straight off the compacted snapshot: still there.
+        d.crash();
+        let (again, _) = d.recover().unwrap();
+        assert_eq!(again.trust().level_of(&hijack), TrustLevel::Quarantined);
+        assert_eq!(digest(&catalog), digest(&again));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod durable;
 pub mod entry;
 pub mod intension;
 pub mod store;
+pub mod trust;
 
 pub use binding::{BindChoice, Binding, BindingAlternative, Preference};
 pub use durable::{
@@ -40,3 +41,4 @@ pub use durable::{
 pub use entry::{CatalogEntry, Level, ServerId};
 pub use intension::{HoldingRef, IntensionalStatement, Rel};
 pub use store::Catalog;
+pub use trust::{classify, ConflictClass, Observation, TrustBook, TrustLevel, TrustRecord};

@@ -9,6 +9,7 @@ use mqp_namespace::{InterestArea, Urn};
 use crate::binding::{Binding, BindingAlternative};
 use crate::entry::{CatalogEntry, Level, ServerId};
 use crate::intension::IntensionalStatement;
+use crate::trust::TrustBook;
 
 /// A peer's local catalog (paper §2: "we resolve URNs by consulting a
 /// catalog, which we maintain locally at each peer. A catalog contains
@@ -34,6 +35,9 @@ pub struct Catalog {
     route_cache_cap: usize,
     cache_hits: u64,
     cache_misses: u64,
+    /// Binding provenance + quarantine state (DESIGN.md §14). Empty
+    /// and disarmed unless a peer enables the multi-origin defense.
+    trust: TrustBook,
 }
 
 impl Catalog {
@@ -136,6 +140,17 @@ impl Catalog {
         (self.cache_hits, self.cache_misses)
     }
 
+    /// The trust book (read side): levels, records, claimants.
+    pub fn trust(&self) -> &TrustBook {
+        &self.trust
+    }
+
+    /// The trust book (write side): observe registrations, apply
+    /// verdict rounds, arm the defense.
+    pub fn trust_mut(&mut self) -> &mut TrustBook {
+        &mut self.trust
+    }
+
     /// Approximate in-memory footprint: number of entries + statements +
     /// URN mappings. Used by the index-detail experiments (E10).
     pub fn size(&self) -> usize {
@@ -167,6 +182,9 @@ impl Catalog {
                     collection: collection.clone(),
                 });
             }
+        }
+        for rec in self.trust.records() {
+            ops.push(CatalogOp::Trust(rec.clone()));
         }
         ops
     }
@@ -210,11 +228,24 @@ impl Catalog {
     /// base servers, plus every alternative the intensional statements
     /// license. Alternative 0 is always the default (staleness 0).
     pub fn bind_area(&self, area: &InterestArea) -> Binding {
-        let default_servers: Vec<ServerId> = self
+        let mut default_servers: Vec<ServerId> = self
             .base_entries_overlapping(area)
             .iter()
             .map(|e| e.server.clone())
             .collect();
+        // Quarantined servers are shunned exactly like dead hops: only
+        // when a non-quarantined survivor remains (a poisoned answer
+        // beats no answer).
+        if !self.trust.is_empty() {
+            let kept: Vec<ServerId> = default_servers
+                .iter()
+                .filter(|s| !self.trust.excluded(s))
+                .cloned()
+                .collect();
+            if !kept.is_empty() {
+                default_servers = kept;
+            }
+        }
         let mut alternatives = Vec::new();
         if !default_servers.is_empty() {
             alternatives.push(BindingAlternative {
@@ -259,6 +290,16 @@ impl Catalog {
             }
         }
 
+        // Statement-licensed alternatives touching a quarantined
+        // server are dropped while any clean alternative survives.
+        if !self.trust.is_empty()
+            && alternatives.iter().any(|a: &BindingAlternative| {
+                a.servers.iter().all(|(s, _)| !self.trust.excluded(s))
+            })
+        {
+            alternatives.retain(|a| a.servers.iter().all(|(s, _)| !self.trust.excluded(s)));
+        }
+
         Binding {
             area: area.clone(),
             alternatives,
@@ -285,16 +326,31 @@ impl Catalog {
     pub fn route_for(&self, area: &InterestArea, exclude: &[ServerId]) -> Option<ServerId> {
         let key = cache_key(area);
         if let Some(s) = self.route_cache.get(&key) {
-            if !exclude.contains(s) {
+            if !exclude.contains(s) && !self.trust.excluded(s) {
                 return Some(s.clone());
             }
         }
+        self.pick_route(area, exclude, true)
+            .or_else(|| self.pick_route(area, exclude, false))
+    }
+
+    /// The catalog-entry scan behind [`Catalog::route_for`]. With
+    /// `shun` set, quarantined servers are skipped — the caller falls
+    /// back to a second pass without it, so quarantine (like the
+    /// visited-set) never strands a plan with zero next hops.
+    fn pick_route(
+        &self,
+        area: &InterestArea,
+        exclude: &[ServerId],
+        shun: bool,
+    ) -> Option<ServerId> {
         self.entries
             .iter()
             .filter(|e| {
                 matches!(e.level, Level::Index | Level::MetaIndex)
                     && e.area.overlaps(area)
                     && !exclude.contains(&e.server)
+                    && !(shun && self.trust.excluded(&e.server))
             })
             .max_by(|a, b| {
                 let cover = |e: &&Arc<CatalogEntry>| e.area.covers(area);

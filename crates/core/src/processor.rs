@@ -157,6 +157,7 @@ impl Processor {
             staleness,
             bytes: None,
             role: ctx.id().to_string(),
+            trust: None,
         }
     }
 

@@ -26,6 +26,11 @@ pub enum Action {
     /// server (the §5.1-visible detour a crashed next-hop forces —
     /// DESIGN.md invariant 7).
     Retried,
+    /// Pruned Or-alternatives backed by a quarantined binding
+    /// (DESIGN.md §14). Like `Retried`, provenance-visible but never
+    /// accounts for a source: a defense-pruned run stays audit-clean,
+    /// and a spoofed source cannot hide behind a quarantine.
+    Distrusted,
 }
 
 impl Action {
@@ -38,6 +43,7 @@ impl Action {
             Action::Rewrote => "rewrote",
             Action::Forwarded => "forwarded",
             Action::Retried => "retried",
+            Action::Distrusted => "distrusted",
         }
     }
 
@@ -50,6 +56,7 @@ impl Action {
             "rewrote" => Action::Rewrote,
             "forwarded" => Action::Forwarded,
             "retried" => Action::Retried,
+            "distrusted" => Action::Distrusted,
             _ => return None,
         })
     }
@@ -206,6 +213,7 @@ mod tests {
             Action::Rewrote,
             Action::Forwarded,
             Action::Retried,
+            Action::Distrusted,
         ] {
             assert_eq!(Action::parse(a.name()), Some(a));
         }
@@ -259,6 +267,34 @@ mod tests {
         assert_eq!(
             unaccounted_sources(&original, &evasive),
             vec!["urn:Data:A".to_owned()]
+        );
+    }
+
+    #[test]
+    fn distrust_prunes_stay_audit_clean() {
+        // DESIGN.md §14: pruning a quarantined alternative records
+        // Distrusted — visible in the audit trail, but it accounts for
+        // nothing. The surviving alternative must still be evaluated
+        // honestly, and a spoofed source cannot hide behind the prune.
+        let original = Plan::or([Plan::url("mqp://honest/"), Plan::url("mqp://hijack/")]);
+        let defended = vec![
+            visit(
+                "M",
+                Action::Distrusted,
+                "pruned 1 alternative(s) backed by hijack",
+            ),
+            visit("honest", Action::Resolved, "mqp://honest/ -> local data"),
+            visit("honest", Action::Evaluated, "reduced mqp://honest/"),
+        ];
+        assert!(unaccounted_sources(&original, &defended).is_empty());
+        let evasive = vec![visit(
+            "M",
+            Action::Distrusted,
+            "pruned mqp://honest/ and mqp://hijack/ both",
+        )];
+        assert_eq!(
+            unaccounted_sources(&original, &evasive),
+            vec!["mqp://hijack/".to_owned(), "mqp://honest/".to_owned()]
         );
     }
 

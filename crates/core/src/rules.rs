@@ -20,7 +20,7 @@
 
 use std::fmt;
 
-use mqp_catalog::{Preference, ServerId};
+use mqp_catalog::{Preference, ServerId, TrustLevel};
 use mqp_namespace::{urn, InterestArea};
 
 use crate::policy::Policy;
@@ -43,6 +43,10 @@ pub enum Cond {
     StalenessOver(u32),
     /// The processing peer's id matches a `*`-wildcard glob.
     RoleIs(String),
+    /// The subject server's trust level is at or below the given level
+    /// (DESIGN.md §14) — `trust-below probation` fires on `Probation`
+    /// and `Quarantined`, never on `Trusted`.
+    TrustBelow(TrustLevel),
 }
 
 /// A single rule action. Actions of matching rules apply in order;
@@ -65,6 +69,11 @@ pub enum RuleAction {
     /// Override the preference used for Or-commitment only, leaving the
     /// binding/deferment preference untouched.
     Choose(Preference),
+    /// Quarantine the subject server administratively (DESIGN.md §14).
+    Quarantine,
+    /// Demand a `count(σ(B))` verification round for the subject's
+    /// conflicts before its answers are trusted.
+    Verify,
 }
 
 /// One `when <conds> then <actions>` rule.
@@ -97,6 +106,9 @@ pub struct RuleCtx {
     pub staleness: Option<u32>,
     /// The processing peer's id.
     pub role: String,
+    /// Trust level of the subject server, at trust decision points
+    /// (registration conflicts); `None` elsewhere.
+    pub trust: Option<TrustLevel>,
 }
 
 impl RuleCtx {
@@ -104,6 +116,14 @@ impl RuleCtx {
     pub fn with_bytes(&self, bytes: f64) -> RuleCtx {
         RuleCtx {
             bytes: Some(bytes),
+            ..self.clone()
+        }
+    }
+
+    /// Copy of this ctx with the subject server's trust level set.
+    pub fn with_trust(&self, trust: TrustLevel) -> RuleCtx {
+        RuleCtx {
+            trust: Some(trust),
             ..self.clone()
         }
     }
@@ -121,6 +141,10 @@ pub struct Decision {
     pub force: Option<bool>,
     /// Routing override, if any rule set one.
     pub route: Option<ServerId>,
+    /// A rule demanded administrative quarantine of the subject.
+    pub quarantine: bool,
+    /// A rule demanded a verification round for the subject.
+    pub verify: bool,
 }
 
 /// Matches `pat` against `text` where `*` in the pattern matches any
@@ -167,6 +191,7 @@ impl Cond {
             Cond::BytesUnder(threshold) => ctx.bytes.map(|b| b < *threshold).unwrap_or(false),
             Cond::StalenessOver(minutes) => ctx.staleness.map(|s| s > *minutes).unwrap_or(false),
             Cond::RoleIs(glob) => glob_match(glob, &ctx.role),
+            Cond::TrustBelow(level) => ctx.trust.map(|t| t <= *level).unwrap_or(false),
         }
     }
 }
@@ -209,6 +234,8 @@ impl RuleSet {
             or_preference: None,
             force: None,
             route: None,
+            quarantine: false,
+            verify: false,
         };
         for rule in &self.rules {
             if !rule.matches(ctx) {
@@ -223,6 +250,8 @@ impl RuleSet {
                     RuleAction::ForceEvaluate => decision.force = Some(true),
                     RuleAction::RouteVia(s) => decision.route = Some(s.clone()),
                     RuleAction::Choose(p) => decision.or_preference = Some(*p),
+                    RuleAction::Quarantine => decision.quarantine = true,
+                    RuleAction::Verify => decision.verify = true,
                 }
             }
         }
@@ -289,6 +318,7 @@ fn cond_token(c: &Cond) -> String {
         Cond::BytesUnder(b) => format!("bytes<{b}"),
         Cond::StalenessOver(m) => format!("stale>{m}"),
         Cond::RoleIs(g) => format!("role={g}"),
+        Cond::TrustBelow(l) => format!("trust<={}", l.name()),
     }
 }
 
@@ -301,6 +331,8 @@ fn action_token(a: &RuleAction) -> String {
         RuleAction::ForceEvaluate => "force=eval".to_string(),
         RuleAction::RouteVia(s) => format!("route={s}"),
         RuleAction::Choose(p) => format!("choose={}", pref_token(*p)),
+        RuleAction::Quarantine => "quarantine".to_string(),
+        RuleAction::Verify => "verify".to_string(),
     }
 }
 
@@ -348,6 +380,11 @@ fn parse_cond_token(tok: &str) -> Result<Cond, String> {
     if let Some(rest) = tok.strip_prefix("role=") {
         return Ok(Cond::RoleIs(rest.to_string()));
     }
+    if let Some(rest) = tok.strip_prefix("trust<=") {
+        return TrustLevel::parse(rest)
+            .map(Cond::TrustBelow)
+            .ok_or_else(|| format!("unknown trust level {rest:?}"));
+    }
     Err(format!("unknown rule condition token {tok:?}"))
 }
 
@@ -383,6 +420,12 @@ fn parse_action_token(tok: &str) -> Result<RuleAction, String> {
     if let Some(rest) = tok.strip_prefix("choose=") {
         return parse_pref(rest).map(RuleAction::Choose);
     }
+    if tok == "quarantine" {
+        return Ok(RuleAction::Quarantine);
+    }
+    if tok == "verify" {
+        return Ok(RuleAction::Verify);
+    }
     Err(format!("unknown rule action token {tok:?}"))
 }
 
@@ -400,6 +443,7 @@ mod tests {
             bytes: Some(2048.0),
             staleness: Some(45),
             role: "seller-3".to_string(),
+            trust: None,
         }
     }
 
@@ -495,6 +539,7 @@ mod tests {
                     Cond::BytesUnder(128.5),
                     Cond::StalenessOver(30),
                     Cond::RoleIs("seller-*".to_string()),
+                    Cond::TrustBelow(TrustLevel::Probation),
                 ],
                 vec![
                     RuleAction::Prefer(Preference::Fast),
@@ -504,6 +549,8 @@ mod tests {
                     RuleAction::ForceEvaluate,
                     RuleAction::RouteVia(ServerId::new("idx-pdx")),
                     RuleAction::Choose(Preference::Current),
+                    RuleAction::Quarantine,
+                    RuleAction::Verify,
                 ],
             ),
             Rule::new(
@@ -525,5 +572,47 @@ mod tests {
         assert!(RuleSet::from_wire("=> prefer=fast").is_err());
         assert!(RuleSet::from_wire("always =>").is_err());
         assert!(RuleSet::from_wire("bytes>much => force=defer").is_err());
+        assert!(RuleSet::from_wire("trust<=sideways => verify").is_err());
+    }
+
+    #[test]
+    fn trust_below_is_at_or_below_and_needs_a_subject() {
+        let rs = RuleSet::new(vec![Rule::new(
+            vec![Cond::TrustBelow(TrustLevel::Probation)],
+            vec![RuleAction::Verify],
+        )]);
+        let base = Policy::current();
+        // No trust subject in ctx: never fires.
+        assert!(!rs.decide(&base, &ctx()).verify);
+        // At or below probation fires; trusted does not.
+        assert!(
+            !rs.decide(&base, &ctx().with_trust(TrustLevel::Trusted))
+                .verify
+        );
+        assert!(
+            rs.decide(&base, &ctx().with_trust(TrustLevel::Probation))
+                .verify
+        );
+        assert!(
+            rs.decide(&base, &ctx().with_trust(TrustLevel::Quarantined))
+                .verify
+        );
+    }
+
+    #[test]
+    fn quarantine_and_verify_actions_set_decision_flags() {
+        let rs = RuleSet::new(vec![Rule::new(
+            vec![Cond::TrustBelow(TrustLevel::Quarantined)],
+            vec![RuleAction::Quarantine, RuleAction::Verify],
+        )]);
+        let d = rs.decide(
+            &Policy::current(),
+            &ctx().with_trust(TrustLevel::Quarantined),
+        );
+        assert!(d.quarantine);
+        assert!(d.verify);
+        let d = rs.decide(&Policy::current(), &ctx().with_trust(TrustLevel::Probation));
+        assert!(!d.quarantine);
+        assert!(!d.verify);
     }
 }

@@ -14,9 +14,11 @@
 //!          | "bytes" ("over"|"under") SIZE
 //!          | "staleness" "over" DUR
 //!          | "role" "is" STR                   # glob over the peer name
+//!          | "trust-below" LEVEL               # trusted|probation|quarantined
 //! action  := "prefer" ("current"|"fast") | "within" DUR
 //!          | "defer" "over" SIZE | "defer" | "evaluate"
 //!          | "route" "via" STR | "choose" ("current"|"fast")
+//!          | "quarantine" | "verify"           # binding defense, DESIGN.md §14
 //! ```
 //!
 //! Base lines compile to `when always then …` rules in place, so a
@@ -27,7 +29,7 @@
 //! to `Policy::current()` is a no-op, which is what keeps golden traces
 //! byte-identical under the compiled default (tested below).
 
-use mqp_catalog::{Preference, ServerId};
+use mqp_catalog::{Preference, ServerId, TrustLevel};
 use mqp_core::{Cond, Rule, RuleAction, RuleSet};
 use mqp_namespace::Urn;
 
@@ -102,7 +104,8 @@ fn always(action: RuleAction) -> Rule {
 }
 
 fn parse_cond(cur: &mut Cursor) -> Result<Cond, Diagnostic> {
-    let (kw, kw_span) = cur.expect_word("a condition (always, area, bytes, staleness, role)")?;
+    let (kw, kw_span) =
+        cur.expect_word("a condition (always, area, bytes, staleness, role, trust-below)")?;
     match kw.as_str() {
         "always" => Ok(Cond::Always),
         "area" => {
@@ -151,19 +154,33 @@ fn parse_cond(cur: &mut Cursor) -> Result<Cond, Diagnostic> {
             }
             Ok(Cond::RoleIs(glob))
         }
+        "trust-below" => {
+            let (level, span) = cur.expect_word("a trust level (trusted, probation, quarantined)")?;
+            match TrustLevel::parse(&level) {
+                Some(l) => Ok(Cond::TrustBelow(l)),
+                None => Err(Diagnostic::at(
+                    cur.src(),
+                    span,
+                    format!(
+                        "unknown trust level `{level}` (expected trusted, probation, or quarantined)"
+                    ),
+                )),
+            }
+        }
         other => Err(Diagnostic::at(
             cur.src(),
             kw_span,
             format!(
-                "unknown condition `{other}` (expected always, area, bytes, staleness, or role)"
+                "unknown condition `{other}` (expected always, area, bytes, staleness, role, or trust-below)"
             ),
         )),
     }
 }
 
 fn parse_action(cur: &mut Cursor) -> Result<RuleAction, Diagnostic> {
-    let (kw, kw_span) =
-        cur.expect_word("an action (prefer, within, defer, evaluate, route, choose)")?;
+    let (kw, kw_span) = cur.expect_word(
+        "an action (prefer, within, defer, evaluate, route, choose, quarantine, verify)",
+    )?;
     match kw.as_str() {
         "prefer" => Ok(RuleAction::Prefer(parse_preference(cur)?)),
         "within" => {
@@ -192,13 +209,75 @@ fn parse_action(cur: &mut Cursor) -> Result<RuleAction, Diagnostic> {
             Ok(RuleAction::RouteVia(ServerId::new(server)))
         }
         "choose" => Ok(RuleAction::Choose(parse_preference(cur)?)),
+        "quarantine" => Ok(RuleAction::Quarantine),
+        "verify" => Ok(RuleAction::Verify),
         other => Err(Diagnostic::at(
             cur.src(),
             kw_span,
             format!(
-                "unknown action `{other}` (expected prefer, within, defer, evaluate, route, or choose)"
+                "unknown action `{other}` (expected prefer, within, defer, evaluate, route, choose, quarantine, or verify)"
             ),
         )),
+    }
+}
+
+/// Renders a rule set back to policy DSL text — the left inverse of
+/// [`parse_policy`] for any rule set the DSL can express (integral byte
+/// thresholds; property-tested in `crate::proptests`). Every rule
+/// renders in the explicit `when … then …` form, so rendering is also a
+/// fixed point of parse∘render.
+pub fn render_policy(rules: &RuleSet) -> String {
+    let mut out = String::new();
+    for rule in &rules.rules {
+        out.push_str("when ");
+        for (i, c) in rule.conds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" and ");
+            }
+            out.push_str(&render_cond(c));
+        }
+        out.push_str(" then ");
+        for (i, a) in rule.actions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&render_action(a));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn render_cond(c: &Cond) -> String {
+    match c {
+        Cond::Always => "always".to_owned(),
+        Cond::AreaWithin(a) => format!("area within \"{}\"", Urn::area(a.clone())),
+        Cond::BytesOver(b) => format!("bytes over {}", *b as u64),
+        Cond::BytesUnder(b) => format!("bytes under {}", *b as u64),
+        Cond::StalenessOver(m) => format!("staleness over {m}min"),
+        Cond::RoleIs(glob) => format!("role is \"{glob}\""),
+        Cond::TrustBelow(l) => format!("trust-below {}", l.name()),
+    }
+}
+
+fn render_action(a: &RuleAction) -> String {
+    match a {
+        RuleAction::Prefer(p) => format!("prefer {}", render_preference(p)),
+        RuleAction::Within(m) => format!("within {m}min"),
+        RuleAction::DeferOver(b) => format!("defer over {}", *b as u64),
+        RuleAction::ForceDefer => "defer".to_owned(),
+        RuleAction::ForceEvaluate => "evaluate".to_owned(),
+        RuleAction::RouteVia(s) => format!("route via \"{s}\""),
+        RuleAction::Choose(p) => format!("choose {}", render_preference(p)),
+        RuleAction::Quarantine => "quarantine".to_owned(),
+        RuleAction::Verify => "verify".to_owned(),
+    }
+}
+
+fn render_preference(p: &Preference) -> &'static str {
+    match p {
+        Preference::Current => "current",
+        Preference::Fast => "fast",
     }
 }
 
@@ -275,6 +354,39 @@ mod tests {
             p.rules.rules[1].actions,
             vec![RuleAction::DeferOver(2048.0)]
         );
+    }
+
+    #[test]
+    fn trust_conditions_and_defense_actions_compile() {
+        let p = parse_policy(
+            "when trust-below probation then verify\n\
+             when trust-below quarantined and role is \"meta\" then quarantine, defer",
+        )
+        .unwrap();
+        let rules = &p.rules.rules;
+        assert_eq!(
+            rules[0].conds,
+            vec![Cond::TrustBelow(mqp_catalog::TrustLevel::Probation)]
+        );
+        assert_eq!(rules[0].actions, vec![RuleAction::Verify]);
+        assert_eq!(
+            rules[1].conds[0],
+            Cond::TrustBelow(mqp_catalog::TrustLevel::Quarantined)
+        );
+        assert_eq!(
+            rules[1].actions,
+            vec![RuleAction::Quarantine, RuleAction::ForceDefer]
+        );
+        // Hot-reload ships compiled rules over the wire intact.
+        assert_eq!(RuleSet::from_wire(&p.rules.to_wire()).unwrap(), p.rules);
+        // And the renderer inverts the compiler.
+        assert_eq!(
+            parse_policy(&render_policy(&p.rules)).unwrap().rules,
+            p.rules
+        );
+
+        let err = parse_policy("when trust-below sideways then verify").unwrap_err();
+        assert!(err.message.contains("unknown trust level"), "{err}");
     }
 
     #[test]

@@ -9,8 +9,12 @@ use proptest::prelude::*;
 
 use mqp_algebra::plan::{Annotations, JoinCond, OrAlt, Plan, UrlRef, UrnRef};
 use mqp_algebra::predicate::{AggFunc, Predicate};
+use mqp_catalog::{Preference, ServerId, TrustLevel};
+use mqp_core::{Cond, Rule, RuleAction, RuleSet};
+use mqp_namespace::InterestArea;
 use mqp_xml::Element;
 
+use crate::policy::{parse_policy, render_policy};
 use crate::query::parse_query;
 
 fn arb_item() -> impl Strategy<Value = Element> {
@@ -117,6 +121,66 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
     })
 }
 
+fn arb_trust_level() -> impl Strategy<Value = TrustLevel> {
+    proptest::sample::select(vec![
+        TrustLevel::Trusted,
+        TrustLevel::Probation,
+        TrustLevel::Quarantined,
+    ])
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Always),
+        proptest::collection::vec(("[A-Z]{1,4}", "[a-z]{1,5}"), 1..3).prop_map(|cells| {
+            let cells: Vec<Vec<&str>> = cells
+                .iter()
+                .map(|(a, b)| vec![a.as_str(), b.as_str()])
+                .collect();
+            let refs: Vec<&[&str]> = cells.iter().map(Vec::as_slice).collect();
+            Cond::AreaWithin(InterestArea::parse(&refs))
+        }),
+        (1u32..1_000_000).prop_map(|b| Cond::BytesOver(b as f64)),
+        (1u32..1_000_000).prop_map(|b| Cond::BytesUnder(b as f64)),
+        (0u32..10_000).prop_map(Cond::StalenessOver),
+        "[a-z*][a-z0-9*-]{0,8}".prop_map(Cond::RoleIs),
+        arb_trust_level().prop_map(Cond::TrustBelow),
+    ]
+}
+
+fn arb_action() -> impl Strategy<Value = RuleAction> {
+    let pref = proptest::sample::select(vec![Preference::Current, Preference::Fast]);
+    prop_oneof![
+        pref.clone().prop_map(RuleAction::Prefer),
+        (0u32..10_000).prop_map(RuleAction::Within),
+        (1u32..1_000_000).prop_map(|b| RuleAction::DeferOver(b as f64)),
+        Just(RuleAction::ForceDefer),
+        Just(RuleAction::ForceEvaluate),
+        "[a-z][a-z0-9-]{0,8}".prop_map(|s| RuleAction::RouteVia(ServerId::new(s))),
+        pref.clone().prop_map(RuleAction::Choose),
+        Just(RuleAction::Quarantine),
+        Just(RuleAction::Verify),
+    ]
+}
+
+fn arb_ruleset() -> impl Strategy<Value = RuleSet> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(arb_cond(), 1..3),
+            proptest::collection::vec(arb_action(), 1..3),
+        ),
+        0..5,
+    )
+    .prop_map(|rules| {
+        RuleSet::new(
+            rules
+                .into_iter()
+                .map(|(conds, actions)| Rule { conds, actions })
+                .collect(),
+        )
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -139,5 +203,18 @@ proptest! {
         let text = plan.render();
         let reparsed = parse_query(&text).unwrap();
         prop_assert_eq!(reparsed.plan.render(), text);
+    }
+
+    /// The policy DSL inverts its renderer for every expressible rule
+    /// set — trust conditions and defense actions included — and the
+    /// rendered text is a fixed point of parse∘render (regenerated
+    /// `.mqpp` files are stable).
+    #[test]
+    fn policy_render_parse_roundtrip(rules in arb_ruleset()) {
+        let text = render_policy(&rules);
+        let compiled = parse_policy(&text)
+            .unwrap_or_else(|e| panic!("rendered policy must parse:\n{text}\n{e}"));
+        prop_assert_eq!(&compiled.rules, &rules, "text was:\n{}", text);
+        prop_assert_eq!(render_policy(&compiled.rules), text);
     }
 }

@@ -226,6 +226,15 @@ impl MqpClient {
             .send(node, Frame::Policy(rules.clone()).encode())
     }
 
+    /// Delivers a catalog registration to worker `node` — the same
+    /// `Register` wire frame the simulator's `send_registration` ships,
+    /// so adversarial registration schedules run identically on every
+    /// driver. Returns `false` when the worker is gone.
+    pub fn register(&mut self, node: NodeId, entry: &mqp_catalog::CatalogEntry) -> bool {
+        self.endpoint
+            .send(node, Frame::Register(entry.clone()).encode())
+    }
+
     /// Non-blocking: the next completed outcome, if any.
     pub fn poll(&mut self) -> Option<QueryOutcome> {
         loop {

@@ -18,9 +18,10 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use mqp_algebra::plan::Plan;
+use mqp_algebra::plan::{Plan, UrlRef};
+use mqp_algebra::predicate::AggFunc;
 use mqp_catalog::durable::RecoveryReport;
-use mqp_catalog::{CatalogEntry, Level, ServerId};
+use mqp_catalog::{classify, CatalogEntry, Level, Observation, ServerId};
 use mqp_core::{Action, Mqp, Outcome, QueryId, QueryOutcome, VisitRecord};
 use mqp_namespace::InterestArea;
 use mqp_net::NodeId;
@@ -218,6 +219,31 @@ struct ClientQuery {
     area: Option<InterestArea>,
 }
 
+/// One in-flight verification probe (DESIGN.md §14): a `count(σ(B))`
+/// sub-query sent to one claimant of a contested area.
+#[derive(Debug, Clone)]
+struct Probe {
+    area_key: String,
+    server: ServerId,
+}
+
+/// One verification round over a contested area's full claimant set.
+#[derive(Debug, Clone)]
+struct Round {
+    expected: usize,
+    got: Vec<Observation>,
+    started_at: u64,
+}
+
+/// Verification query ids live in their own namespace (the high bit no
+/// workload qid ever sets), so probe traffic can never collide with
+/// driver-allocated query ids.
+const VQID_BASE: u64 = 1 << 63;
+
+/// A round whose probes went unanswered this long (a claimant crashed
+/// mid-probe) is abandoned so the area can be re-verified.
+const ROUND_TTL_US: u64 = 10_000_000;
+
 /// A peer participating in the MQP protocol: one [`Peer`] (store +
 /// catalog + processor) plus the per-query protocol state the old
 /// monolithic harness kept centrally — pending retries, registration
@@ -236,6 +262,12 @@ pub struct PeerNode {
     /// Queries known to have completed: sends for them go untracked so
     /// a duplicate re-completion can never re-arm retries.
     done: HashSet<QueryId>,
+    /// In-flight verification probes, by verification query id.
+    verify: HashMap<QueryId, Probe>,
+    /// Open verification rounds, by contested area key.
+    rounds: HashMap<String, Round>,
+    /// Allocator for this node's verification query ids.
+    vqid_counter: u64,
 }
 
 impl PeerNode {
@@ -250,6 +282,9 @@ impl PeerNode {
             watches: Vec::new(),
             client: HashMap::new(),
             done: HashSet::new(),
+            verify: HashMap::new(),
+            rounds: HashMap::new(),
+            vqid_counter: 0,
         }
     }
 
@@ -302,6 +337,8 @@ impl PeerNode {
             self.watches.clear();
             self.client.clear();
             self.done.clear();
+            self.verify.clear();
+            self.rounds.clear();
         }
     }
 
@@ -408,8 +445,15 @@ impl PeerNode {
             // a first registration; the distinct tag only matters to
             // traffic accounting.
             Frame::Register(entry) | Frame::Rereg(entry) => {
-                self.peer.register_entry(entry.clone());
-                vec![Effect::Register(entry)]
+                let subject = entry.server.clone();
+                let conflict = self
+                    .peer
+                    .register_entry_from(entry.clone(), from as u64, now);
+                let mut effects = vec![Effect::Register(entry)];
+                if let Some((area_key, claimants)) = conflict {
+                    effects.extend(self.open_verification(&subject, &area_key, &claimants, now));
+                }
+                effects
             }
             Frame::Ack { qid } => {
                 self.on_ack(from, qid);
@@ -588,11 +632,132 @@ impl PeerNode {
         effects.push(Effect::Send { to, bytes });
     }
 
+    /// Opens a verification round for a contested area (DESIGN.md §14):
+    /// asks the installed rules what to do about the newly conflicting
+    /// `subject` (summary quarantine, verify, or nothing), then sends
+    /// each claimant a `count(σ(B))` probe — an ordinary MQP riding the
+    /// existing wire frames, displayed back to this peer under a
+    /// verification query id. Fire-and-forget: probes are untracked, and
+    /// a round whose answers never arrive expires after [`ROUND_TTL_US`].
+    fn open_verification(
+        &mut self,
+        subject: &ServerId,
+        area_key: &str,
+        claimants: &[ServerId],
+        now: u64,
+    ) -> Vec<Effect> {
+        let effects = Vec::new();
+        let (quarantine, verify) = self.peer.trust_decision(subject);
+        if quarantine {
+            self.peer.quarantine_server(subject, now);
+            return effects;
+        }
+        if !verify {
+            return effects;
+        }
+        if let Some(open) = self.rounds.get(area_key) {
+            if now.saturating_sub(open.started_at) < ROUND_TTL_US {
+                return effects; // one round per area at a time
+            }
+            // A claimant never answered: abandon the stale round.
+            self.verify.retain(|_, p| p.area_key != area_key);
+            self.rounds.remove(area_key);
+        }
+        let me = self.peer.id().clone();
+        let mut effects = effects;
+        let mut expected = 0;
+        for server in claimants {
+            let Some(node) = self.directory.node_of(server) else {
+                continue;
+            };
+            self.vqid_counter += 1;
+            let vqid = QueryId::new(VQID_BASE | ((self.node as u64) << 24) | self.vqid_counter);
+            let mut url = UrlRef::new(server.to_url());
+            url.meta.set("area", area_key);
+            let plan = Plan::display(
+                format!("{me}#{vqid}"),
+                Plan::aggregate(AggFunc::Count, None, Plan::Url(url)),
+            );
+            let wire = Mqp::new(plan).to_wire();
+            let frame = Frame::Mqp(MqpFrame {
+                qid: Some(vqid),
+                meter: Meter {
+                    submitted_at: now,
+                    hops: 0,
+                    mqp_bytes: wire.len() as u64,
+                    retries: 0,
+                },
+                envelope: wire,
+            });
+            self.verify.insert(
+                vqid,
+                Probe {
+                    area_key: area_key.to_owned(),
+                    server: server.clone(),
+                },
+            );
+            expected += 1;
+            effects.push(Effect::Send {
+                to: node,
+                bytes: frame.encode(),
+            });
+        }
+        if expected > 0 {
+            self.rounds.insert(
+                area_key.to_owned(),
+                Round {
+                    expected,
+                    got: Vec::new(),
+                    started_at: now,
+                },
+            );
+        }
+        effects
+    }
+
+    /// A probe answer came back: fold it into its round, and when the
+    /// round is complete, classify the claimant set and apply the
+    /// verdicts (journaled trust transitions) at the wrapped peer.
+    fn absorb_probe(&mut self, probe: Probe, rf: &ResultFrame, now: u64) {
+        // A malformed or empty answer reads as zero qualifying items.
+        let wrapped = format!("<results>{}</results>", rf.items);
+        let count = mqp_xml::parse(&wrapped)
+            .ok()
+            .and_then(|r| {
+                r.child_elements()
+                    .next()
+                    .and_then(|e| e.deep_text().trim().parse::<u64>().ok())
+            })
+            .unwrap_or(0);
+        let fresh = self.peer.catalog().trust().is_fresh(&probe.server, now);
+        let Some(round) = self.rounds.get_mut(&probe.area_key) else {
+            return;
+        };
+        round.got.push(Observation {
+            server: probe.server,
+            count,
+            fingerprint: mqp_catalog::trust::fingerprint(rf.items.as_bytes()),
+            fresh,
+        });
+        if round.got.len() < round.expected {
+            return;
+        }
+        let round = self.rounds.remove(&probe.area_key).expect("round present");
+        let verdicts = classify(&round.got);
+        self.peer.apply_trust_round(&verdicts, now);
+    }
+
     fn handle_result(&mut self, from: NodeId, rf: ResultFrame, now: u64) -> Vec<Effect> {
         let mut effects = vec![Effect::Ack {
             to: from,
             qid: rf.qid,
         }];
+        // A verification probe answer is protocol-internal: absorb it
+        // into its round instead of surfacing a client completion.
+        if let Some(probe) = self.verify.remove(&rf.qid) {
+            self.absorb_probe(probe, &rf, now);
+            return effects;
+        }
         // §3.4 cache learning, applied once — when the first result for
         // a query this node submitted arrives.
         if let Some(cq) = self.client.remove(&rf.qid) {
@@ -972,5 +1137,169 @@ mod tests {
         let fx = a.on_message(1, &Frame::Register(entry.clone()).encode(), 5);
         assert_eq!(fx, vec![Effect::Register(entry.clone())]);
         assert_eq!(a.peer().catalog().entries().len(), 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-origin binding defense (DESIGN.md §14)
+    // ------------------------------------------------------------------
+
+    /// Delivers every `Send` effect until the network drains, dropping
+    /// non-transport effects — a four-line driver for defense tests.
+    fn drain(nodes: &mut [PeerNode], seed: Vec<(NodeId, Effect)>, now: u64) {
+        let mut queue: Vec<(NodeId, NodeId, Vec<u8>)> = seed
+            .into_iter()
+            .filter_map(|(from, e)| match e {
+                Effect::Send { to, bytes } => Some((from, to, bytes)),
+                _ => None,
+            })
+            .collect();
+        while !queue.is_empty() {
+            let (from, to, bytes) = queue.remove(0);
+            for e in nodes[to].on_message(from, &bytes, now) {
+                if let Effect::Send { to: next, bytes } = e {
+                    queue.push((to, next, bytes));
+                }
+            }
+        }
+    }
+
+    /// Registers `entry` at verifier node 0 and drains the resulting
+    /// verification round (probes out, answers back, verdicts applied).
+    fn register_at_verifier(nodes: &mut [PeerNode], from: NodeId, entry: CatalogEntry, now: u64) {
+        let fx = nodes[0].on_message(from, &Frame::Register(entry).encode(), now);
+        let seed = fx.into_iter().map(|e| (0, e)).collect();
+        drain(nodes, seed, now);
+    }
+
+    /// A seller node holding `items` for the Portland-CDs area.
+    fn defense_seller(node: NodeId, dir: &Arc<Directory>, items: &[&str]) -> PeerNode {
+        let mut p = Peer::new(dir.id_of(node), ns());
+        p.add_collection("stock", pdx_cds(), items.iter().map(|s| parse(s).unwrap()));
+        PeerNode::new(node, p, Arc::clone(dir))
+    }
+
+    /// End-to-end verification rounds at a defended verifier: honest
+    /// mirrors with identical answers stay trusted; a hijacker serving
+    /// different data for the same area draws strikes on every
+    /// conflicting registration and lands in quarantine, after which
+    /// bindings stop offering it.
+    #[test]
+    fn conflicting_registrations_verify_and_quarantine_the_hijacker() {
+        use mqp_catalog::TrustLevel;
+        let dir = directory(&["verifier", "honest", "mirror", "hijack"]);
+        let mut nodes = vec![
+            {
+                let mut p = Peer::new("verifier", ns());
+                p.enable_defense();
+                PeerNode::new(0, p, Arc::clone(&dir))
+            },
+            defense_seller(1, &dir, &["<item><t>A</t></item>", "<item><t>B</t></item>"]),
+            defense_seller(2, &dir, &["<item><t>A</t></item>", "<item><t>B</t></item>"]),
+            defense_seller(3, &dir, &["<item><t>X</t></item>"]),
+        ];
+        let honest = CatalogEntry::base("honest", pdx_cds());
+        let mirror = CatalogEntry::base("mirror", pdx_cds());
+        let hijack = CatalogEntry::base("hijack", pdx_cds());
+        // Lone claimant: no conflict, no round.
+        register_at_verifier(&mut nodes, 1, honest, 1_000);
+        assert!(nodes[0].rounds.is_empty() && nodes[0].verify.is_empty());
+        // Second claimant with identical data: a round runs, both clear.
+        register_at_verifier(&mut nodes, 2, mirror, 2_000);
+        let book = nodes[0].peer().catalog().trust();
+        assert_eq!(book.level_of(&ServerId::new("honest")), TrustLevel::Trusted);
+        assert_eq!(book.level_of(&ServerId::new("mirror")), TrustLevel::Trusted);
+        // The hijacker's divergent answers draw a strike per round.
+        register_at_verifier(&mut nodes, 3, hijack.clone(), 3_000);
+        assert_eq!(
+            nodes[0]
+                .peer()
+                .catalog()
+                .trust()
+                .level_of(&ServerId::new("hijack")),
+            TrustLevel::Probation
+        );
+        register_at_verifier(&mut nodes, 3, hijack, 4_000);
+        let book = nodes[0].peer().catalog().trust();
+        assert_eq!(
+            book.level_of(&ServerId::new("hijack")),
+            TrustLevel::Quarantined
+        );
+        // Honest claimants cleared again each round.
+        assert_eq!(book.level_of(&ServerId::new("honest")), TrustLevel::Trusted);
+        assert_eq!(book.level_of(&ServerId::new("mirror")), TrustLevel::Trusted);
+        assert!(nodes[0].rounds.is_empty() && nodes[0].verify.is_empty());
+        // The quarantined claimant vanishes from fresh bindings while
+        // clean alternatives survive.
+        let binding = nodes[0].peer().catalog().bind_area(&pdx_cds());
+        assert!(binding
+            .alternatives
+            .iter()
+            .all(|a| a.servers.iter().all(|(s, _)| *s != ServerId::new("hijack"))));
+        assert!(!binding.alternatives.is_empty());
+    }
+
+    /// The laundering fix end-to-end: trust transitions are journaled,
+    /// so a quarantined hijacker stays quarantined across the
+    /// verifier's crash/recovery even though the WAL also replays the
+    /// hijacker's (re-admitting) registrations.
+    #[test]
+    fn quarantine_survives_verifier_crash_and_recovery() {
+        use mqp_catalog::{DurableCatalog, MemDisk, SharedDisk, TrustLevel};
+        let dir = directory(&["verifier", "honest", "mirror", "hijack"]);
+        let mut nodes = vec![
+            {
+                let mut p = Peer::new("verifier", ns());
+                p.enable_defense();
+                p.enable_durability(DurableCatalog::new(SharedDisk::new(MemDisk::new())));
+                PeerNode::new(0, p, Arc::clone(&dir))
+            },
+            defense_seller(1, &dir, &["<item><t>A</t></item>", "<item><t>B</t></item>"]),
+            defense_seller(2, &dir, &["<item><t>A</t></item>", "<item><t>B</t></item>"]),
+            defense_seller(3, &dir, &["<item><t>X</t></item>"]),
+        ];
+        register_at_verifier(
+            &mut nodes,
+            1,
+            CatalogEntry::base("honest", pdx_cds()),
+            1_000,
+        );
+        register_at_verifier(
+            &mut nodes,
+            2,
+            CatalogEntry::base("mirror", pdx_cds()),
+            2_000,
+        );
+        let hijack = CatalogEntry::base("hijack", pdx_cds());
+        register_at_verifier(&mut nodes, 3, hijack.clone(), 3_000);
+        register_at_verifier(&mut nodes, 3, hijack.clone(), 4_000);
+        assert_eq!(
+            nodes[0]
+                .peer()
+                .catalog()
+                .trust()
+                .level_of(&ServerId::new("hijack")),
+            TrustLevel::Quarantined
+        );
+        // Power loss at the verifier, then recovery from the journal.
+        nodes[0].crash();
+        let fx = nodes[0].recover(5_000);
+        assert!(fx.iter().any(|e| matches!(e, Effect::Recovered(_))));
+        let book = nodes[0].peer().catalog().trust();
+        assert!(book.is_enabled(), "defense must re-arm after recovery");
+        assert_eq!(
+            book.level_of(&ServerId::new("hijack")),
+            TrustLevel::Quarantined
+        );
+        // And the hijacker cannot launder itself with a fresh rereg:
+        // the replayed strikes keep outweighing it.
+        register_at_verifier(&mut nodes, 3, hijack, 6_000);
+        assert_eq!(
+            nodes[0]
+                .peer()
+                .catalog()
+                .trust()
+                .level_of(&ServerId::new("hijack")),
+            TrustLevel::Quarantined
+        );
     }
 }

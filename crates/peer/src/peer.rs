@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use mqp_algebra::plan::{Plan, UrlRef, UrnRef};
 use mqp_catalog::durable::{CatalogOp, DurableCatalog, RecoveryReport};
-use mqp_catalog::{Catalog, CatalogEntry, ServerId};
-use mqp_core::{Policy, Processor, ServerContext};
+use mqp_catalog::{Catalog, CatalogEntry, ConflictClass, Level, ServerId, TrustLevel};
+use mqp_core::{Action, Cond, Policy, Processor, RuleCtx, ServerContext, VisitRecord};
 use mqp_namespace::{CategoryPath, InterestArea, Namespace, Urn};
 use mqp_xml::Element;
 
@@ -33,6 +33,11 @@ pub struct Peer {
     /// catalog survives in memory, which is what the pre-durability
     /// tests and golden traces pin.
     durable: Option<DurableCatalog>,
+    /// Multi-origin binding defense armed (DESIGN.md §14). Kept
+    /// alongside the trust book's own flag so recovery from a crash can
+    /// re-arm the recovered book — otherwise a quarantined hijacker
+    /// could launder its binding through crash/rejoin.
+    defense: bool,
 }
 
 impl Peer {
@@ -49,6 +54,7 @@ impl Peer {
             default_route: None,
             clock_us: Cell::new(0),
             durable: None,
+            defense: false,
         }
     }
 
@@ -172,7 +178,146 @@ impl Peer {
         let d = self.durable.as_mut()?;
         let (catalog, report) = d.recover().ok()?;
         self.catalog = catalog;
+        // Re-arm the defense: the recovered book carries the journaled
+        // trust records, but `enabled` is peer configuration, not
+        // catalog state.
+        if self.defense {
+            self.catalog.trust_mut().set_enabled(true);
+        }
         Some(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-origin binding defense (DESIGN.md §14)
+    // ------------------------------------------------------------------
+
+    /// Arms the multi-origin binding defense: registrations are scored
+    /// for provenance, conflicting claimant sets are verified, and
+    /// quarantined servers are shunned by binding/routing. Off by
+    /// default — legacy worlds behave exactly as before.
+    pub fn enable_defense(&mut self) {
+        self.defense = true;
+        self.catalog.trust_mut().set_enabled(true);
+    }
+
+    /// Whether the defense is armed.
+    pub fn defense_enabled(&self) -> bool {
+        self.defense
+    }
+
+    /// Registers an entry that arrived from transport node `registrar`,
+    /// recording provenance in the trust book when the defense is armed.
+    /// Returns the contested area key and its full claimant set when the
+    /// registration leaves a base-level area with multiple claimants —
+    /// the trigger for a verification round.
+    pub fn register_entry_from(
+        &mut self,
+        entry: CatalogEntry,
+        registrar: u64,
+        now: u64,
+    ) -> Option<(String, Vec<ServerId>)> {
+        let observed = self.defense && entry.level == Level::Base;
+        let server = entry.server.clone();
+        let area_key = mqp_namespace::urn::encode_area(&entry.area);
+        self.register_entry(entry);
+        if !observed {
+            return None;
+        }
+        let n = self
+            .catalog
+            .trust_mut()
+            .observe(&server, registrar, &area_key, now);
+        if n < 2 {
+            return None;
+        }
+        let claimants = self.catalog.trust().claimants(&area_key).to_vec();
+        Some((area_key, claimants))
+    }
+
+    /// Applies one verification round's verdicts to the trust book and
+    /// journals every record whose level transitioned, so quarantine
+    /// survives crash/recovery (the binding-laundering fix).
+    pub fn apply_trust_round(
+        &mut self,
+        verdicts: &[(ServerId, ConflictClass)],
+        now: u64,
+    ) -> Vec<(ServerId, TrustLevel, TrustLevel)> {
+        let transitions = self.catalog.trust_mut().apply_round(verdicts, now);
+        let recs: Vec<_> = transitions
+            .iter()
+            .filter_map(|(s, _, _)| self.catalog.trust().record(s).cloned())
+            .collect();
+        for rec in recs {
+            self.journal(CatalogOp::Trust(rec));
+        }
+        transitions
+    }
+
+    /// Administrative quarantine (the `quarantine` policy action),
+    /// journaled like any other trust transition.
+    pub fn quarantine_server(&mut self, server: &ServerId, now: u64) -> bool {
+        if !self.catalog.trust_mut().force_quarantine(server, now) {
+            return false;
+        }
+        if let Some(rec) = self.catalog.trust().record(server).cloned() {
+            self.journal(CatalogOp::Trust(rec));
+        }
+        true
+    }
+
+    /// What the hot-reloaded rules say to do about a conflicting
+    /// claimant: `(quarantine, verify)`. Without any `trust-below` rule
+    /// installed the built-in default applies — verify, never summarily
+    /// quarantine.
+    pub fn trust_decision(&self, subject: &ServerId) -> (bool, bool) {
+        let rules = self.processor.rules();
+        let has_trust_rules = rules
+            .rules
+            .iter()
+            .any(|r| r.conds.iter().any(|c| matches!(c, Cond::TrustBelow(_))));
+        if !has_trust_rules {
+            return (false, true);
+        }
+        let ctx = RuleCtx {
+            role: self.id.as_str().to_owned(),
+            ..RuleCtx::default()
+        }
+        .with_trust(self.catalog.trust().level_of(subject));
+        let d = rules.decide(&Policy::default(), &ctx);
+        (d.quarantine, d.verify)
+    }
+
+    /// Prunes Or-alternatives backed by quarantined bindings — exactly
+    /// like dead hops (DESIGN.md invariant 7), with a `Distrusted`
+    /// provenance record so §5.1 audits stay clean.
+    fn prune_distrusted(&self, mqp: &mut mqp_core::Mqp) {
+        let book = self.catalog.trust();
+        if !book.is_enabled() || book.is_empty() {
+            return;
+        }
+        for q in book.quarantined() {
+            // Cheap read-only check first: `plan_mut` invalidates the
+            // MQP's cached wire form, so only touch it when the plan
+            // actually references the quarantined server.
+            let referenced = mqp
+                .plan()
+                .urls()
+                .iter()
+                .any(|u| ServerId::from_url(&u.href).is_some_and(|h| h == q));
+            if !referenced {
+                continue;
+            }
+            let n = mqp_core::rewrite::prune_server_alternatives(mqp.plan_mut(), &q);
+            if n > 0 {
+                mqp.record(VisitRecord {
+                    server: self.id.clone(),
+                    action: Action::Distrusted,
+                    detail: format!("pruned {n} alternative(s) backed by {q}"),
+                    at: self.clock_us.get(),
+                    staleness: 0,
+                });
+            }
+        }
     }
 
     /// Publishes a collection: stores it and registers this peer as a
@@ -220,8 +365,11 @@ impl Peer {
             .unwrap_or_default()
     }
 
-    /// Processes an MQP envelope at this peer (harness use).
+    /// Processes an MQP envelope at this peer (harness use). With the
+    /// defense armed, alternatives backed by quarantined bindings are
+    /// pruned before processing.
     pub fn process(&self, mqp: &mut mqp_core::Mqp) -> mqp_core::Outcome {
+        self.prune_distrusted(mqp);
         self.processor.process(mqp, self)
     }
 

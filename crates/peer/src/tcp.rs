@@ -921,6 +921,14 @@ impl TcpClient {
         self.send_frame(node, &Frame::Policy(rules.clone()))
     }
 
+    /// Delivers a catalog registration to one worker over its socket —
+    /// the same `Register` wire frame the simulator's
+    /// `send_registration` ships, so adversarial registration schedules
+    /// run identically on every driver. Returns `false` if unreachable.
+    pub fn register(&mut self, node: NodeId, entry: &mqp_catalog::CatalogEntry) -> bool {
+        self.send_frame(node, &Frame::Register(entry.clone()))
+    }
+
     /// Non-blocking: the next completed outcome, if any.
     pub fn poll(&mut self) -> Option<QueryOutcome> {
         loop {

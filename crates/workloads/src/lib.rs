@@ -17,7 +17,13 @@
 //!
 //! All generators are seeded and deterministic: the same config yields
 //! byte-identical worlds, so experiments are reproducible.
+//!
+//! A fourth generator, [`adversary`], layers seeded attacker
+//! populations (binding hijackers, registration flappers, honest
+//! mirrors) over the [`scale`] federation to exercise the multi-origin
+//! binding defense (DESIGN.md §14, experiment E16).
 
+pub mod adversary;
 pub mod cd;
 pub mod garage;
 pub mod gene;

@@ -458,6 +458,138 @@ fn policy_swap_mid_query_keeps_accounting_clean() {
     );
 }
 
+/// The multi-origin binding defense (DESIGN.md §14) is part of the
+/// sans-IO `PeerNode` state machine, so the same adversarial
+/// registration schedule must yield the same quarantine outcome on all
+/// three drivers: the hijacker's conflicting binding draws count-probe
+/// verification rounds, two strikes land it in quarantine, and the
+/// contested-cell query commits an identical, poison-free answer
+/// everywhere.
+#[test]
+fn quarantine_outcomes_agree_across_all_three_drivers() {
+    use mqp::catalog::CatalogEntry;
+
+    let cell = || area("USA/OR/Portland", "Furniture/Chairs");
+    // world() peers: client(0), meta(1), idx-pdx(2, the verifier),
+    // sellers 3..7; seller-3 (node 6) holds the contested cell's two
+    // honest items. The mirror copies them exactly — same counts, same
+    // bytes, so probes agree; the hijacker holds one divergent poisoned
+    // item.
+    fn defense_world() -> Vec<Peer> {
+        let mut peers = world();
+        peers[2].enable_defense();
+        let mut mirror = Peer::new("mirror-3", ns());
+        mirror.add_collection(
+            "copy",
+            area("USA/OR/Portland", "Furniture/Chairs"),
+            [
+                parse("<item><title>E</title><price>4</price></item>").unwrap(),
+                parse("<item><title>F</title><price>40</price></item>").unwrap(),
+            ],
+        );
+        let mut hijack = Peer::new("hijack-3", ns());
+        hijack.add_collection(
+            "loot",
+            area("USA/OR/Portland", "Furniture/Chairs"),
+            [parse("<item><title>X</title><price>1</price><poison>1</poison></item>").unwrap()],
+        );
+        peers.push(mirror);
+        peers.push(hijack);
+        peers
+    }
+    // The schedule, as (target-index, entry) waves: honest claimants
+    // first (holder + mirror — the round that seeds consistent
+    // history), then the hijacker twice (strike one, strike two →
+    // quarantine).
+    let waves: Vec<Vec<CatalogEntry>> = vec![
+        vec![
+            CatalogEntry::base("seller-3", cell()),
+            CatalogEntry::base("mirror-3", cell()),
+        ],
+        vec![CatalogEntry::base("hijack-3", cell())],
+        vec![CatalogEntry::base("hijack-3", cell())],
+    ];
+    let probe_query = || {
+        Plan::Urn(mqp::algebra::plan::UrnRef::new(Urn::area(area(
+            "USA/OR/Portland",
+            "Furniture/Chairs",
+        ))))
+    };
+    let check_answer = |items: &[String], driver: &str| {
+        assert!(
+            !items.is_empty(),
+            "{driver}: contested-cell query returned nothing"
+        );
+        assert!(
+            items.iter().all(|i| !i.contains("<poison>")),
+            "{driver}: poisoned item survived quarantine: {items:?}"
+        );
+    };
+
+    // --- simulator ---
+    let n = defense_world().len();
+    let mut h = SimHarness::new(Topology::uniform(n, 5_000), defense_world());
+    for wave in &waves {
+        for entry in wave {
+            h.send_registration(0, 2, entry.clone());
+        }
+        h.run(500_000);
+    }
+    h.submit(0, probe_query());
+    h.run(500_000);
+    let out = h.take_completed().pop().expect("sim query completed");
+    assert!(out.failure.is_none(), "sim: {:?}", out.failure);
+    let mut sim_items: Vec<String> = out.items.iter().map(mqp::xml::serialize).collect();
+    sim_items.sort();
+    check_answer(&sim_items, "sim");
+
+    // --- threaded cluster, same schedule over channels ---
+    let settle = || std::thread::sleep(Duration::from_millis(200));
+    let (cluster, mut client) = ThreadedCluster::new(defense_world());
+    for wave in &waves {
+        for entry in wave {
+            assert!(client.register(2, entry), "verifier worker gone");
+        }
+        settle();
+    }
+    client.submit(0, &probe_query());
+    let done = client.collect(1, Duration::from_secs(30));
+    cluster.shutdown(&client);
+    assert_eq!(done.len(), 1, "threaded query stranded");
+    assert!(done[0].failure.is_none(), "threaded: {:?}", done[0].failure);
+    let mut thr_items: Vec<String> = done[0].items.iter().map(mqp::xml::serialize).collect();
+    thr_items.sort();
+    check_answer(&thr_items, "threaded");
+
+    // --- TCP cluster, same schedule over real sockets ---
+    let (tcp, mut tcp_client) = TcpCluster::new(defense_world());
+    for wave in &waves {
+        for entry in wave {
+            assert!(tcp_client.register(2, entry), "verifier unreachable");
+        }
+        settle();
+    }
+    tcp_client.submit(0, &probe_query());
+    let tcp_done = tcp_client.collect(1, Duration::from_secs(30));
+    let stats = tcp.shutdown(&mut tcp_client);
+    assert_eq!(tcp_done.len(), 1, "tcp query stranded");
+    assert!(
+        tcp_done[0].failure.is_none(),
+        "tcp: {:?}",
+        tcp_done[0].failure
+    );
+    let mut tcp_items: Vec<String> = tcp_done[0].items.iter().map(mqp::xml::serialize).collect();
+    tcp_items.sort();
+    check_answer(&tcp_items, "tcp");
+    assert!(stats.balances(0), "unbalanced after quarantine: {stats:?}");
+
+    // Identical answers everywhere: the quarantine decision — not just
+    // the query result — matched, because an unquarantined hijacker
+    // would have poisoned at least one driver's answer.
+    assert_eq!(sim_items, thr_items, "sim vs threaded diverged");
+    assert_eq!(sim_items, tcp_items, "sim vs tcp diverged");
+}
+
 /// Same stability property on the socket host: repeated runs with the
 /// whole workload tripled and in flight at once produce identical
 /// outcome multisets, with exact frame accounting every time.
